@@ -1,0 +1,43 @@
+# Convenience targets for the parsec-go reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fig9 traces examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/ga/ ./internal/trace/ ./internal/dtd/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The paper's headline experiment (Fig 9) at full scale.
+fig9:
+	$(GO) run ./cmd/ccsim -csv fig9.csv
+
+# The trace experiments (Figs 10-13).
+traces:
+	$(GO) run ./cmd/cctrace -variant v4 -preset betacarotene -nodes 32 -cores 7 -svg trace_v4.svg
+	$(GO) run ./cmd/cctrace -variant v2 -preset betacarotene -nodes 32 -cores 7 -svg trace_v2.svg
+	$(GO) run ./cmd/cctrace -variant original -preset betacarotene -nodes 32 -cores 7 -svg trace_original.svg
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/jdfchain
+	$(GO) run ./examples/ccsd_t2_7
+	$(GO) run ./examples/inspector
+	$(GO) run ./examples/fusion
+	$(GO) run ./examples/variants
+
+clean:
+	rm -f fig9.csv trace_*.svg test_output.txt bench_output.txt

@@ -1,0 +1,467 @@
+// Benchmarks regenerating every evaluation artifact of the paper (see
+// EXPERIMENTS.md for the experiment index):
+//
+//   - BenchmarkFig9*: the headline comparison — original CGP code vs the
+//     five PaRSEC variants across a cores/node sweep. Uses the reduced
+//     benzene/8-node configuration so one bench iteration is fast;
+//     `go run ./cmd/ccsim` produces the full beta-carotene/32-node table.
+//     The "sim-s" metric is the simulated execution time (Fig 9's y-axis).
+//   - BenchmarkFig10/11/12*: the trace experiments; reported metrics are
+//     what the paper reads off the traces (startup ramp, worker time
+//     blocked in communication).
+//   - BenchmarkEnergy*: the §IV-A semantic-equivalence experiment with
+//     real arithmetic.
+//   - BenchmarkAblation*: sweeps of the design choices DESIGN.md calls
+//     out (segment height, NXTVAL round-trip, network bandwidth).
+//   - BenchmarkKernel*/BenchmarkInspector/BenchmarkTracker: the
+//     substrate microbenchmarks.
+package parsec
+
+import (
+	"fmt"
+	"testing"
+
+	"parsec/internal/ccsd"
+	"parsec/internal/cluster"
+	"parsec/internal/ga"
+	"parsec/internal/molecule"
+	"parsec/internal/ptg"
+	"parsec/internal/sim"
+	"parsec/internal/simexec"
+	"parsec/internal/tce"
+	"parsec/internal/tensor"
+	"parsec/internal/trace"
+)
+
+// benchCluster is the reduced Fig 9 machine used by benchmarks.
+func benchCluster() cluster.Config {
+	cfg := cluster.CascadeLike()
+	cfg.Nodes = 8
+	return cfg
+}
+
+var benchCores = []int{1, 3, 7, 15}
+
+// BenchmarkFig9Original regenerates the original-code series of Fig 9.
+func BenchmarkFig9Original(b *testing.B) {
+	sys := molecule.Benzene631G()
+	for _, cores := range benchCores {
+		b.Run(fmt.Sprintf("cores-%d", cores), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				mk, err := ccsd.RunSimBaseline(sys, benchCluster(), cores, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = mk.Seconds()
+			}
+			b.ReportMetric(last, "sim-s")
+		})
+	}
+}
+
+// BenchmarkFig9Variants regenerates the PaRSEC series of Fig 9.
+func BenchmarkFig9Variants(b *testing.B) {
+	sys := molecule.Benzene631G()
+	for _, spec := range ccsd.Variants() {
+		spec := spec
+		for _, cores := range benchCores {
+			cores := cores
+			b.Run(fmt.Sprintf("%s/cores-%d", spec.Name, cores), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					res, err := ccsd.RunSim(sys, spec, benchCluster(), ccsd.SimRunConfig{CoresPerNode: cores})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.Makespan.Seconds()
+				}
+				b.ReportMetric(last, "sim-s")
+			})
+		}
+	}
+}
+
+// traceBench runs one traced simulation and reports the paper's trace
+// metrics.
+func traceBench(b *testing.B, run func(tr *trace.Trace) (float64, error)) {
+	b.Helper()
+	var ramp, commShare, makespan float64
+	for i := 0; i < b.N; i++ {
+		tr := trace.New()
+		mk, err := run(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = mk
+		s := tr.Summarize()
+		gm, _ := tr.RampStats("GEMM")
+		ramp = float64(gm) / 1e9
+		var commBusy int64
+		for _, c := range s.ByClass {
+			switch c.Class {
+			case "READA", "READB", "WRITE":
+				commBusy += c.Busy
+			}
+		}
+		if s.TotalBusy > 0 {
+			commShare = 100 * float64(commBusy) / float64(s.TotalBusy)
+		}
+	}
+	b.ReportMetric(makespan, "sim-s")
+	b.ReportMetric(ramp, "gemm-ramp-s")
+	b.ReportMetric(commShare, "comm-busy-%")
+}
+
+// BenchmarkFig10TraceV4: trace of v4 (priorities) — short GEMM ramp.
+func BenchmarkFig10TraceV4(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v4")
+	traceBench(b, func(tr *trace.Trace) (float64, error) {
+		res, err := ccsd.RunSim(sys, spec, benchCluster(), ccsd.SimRunConfig{CoresPerNode: 7, Trace: tr})
+		return res.Makespan.Seconds(), err
+	})
+}
+
+// BenchmarkFig11TraceV2: trace of v2 (no priorities) — startup bubble.
+func BenchmarkFig11TraceV2(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v2")
+	traceBench(b, func(tr *trace.Trace) (float64, error) {
+		res, err := ccsd.RunSim(sys, spec, benchCluster(), ccsd.SimRunConfig{CoresPerNode: 7, Trace: tr})
+		return res.Makespan.Seconds(), err
+	})
+}
+
+// BenchmarkFig12TraceOriginal: trace of the original code — worker time
+// dominated by GET_HASH_BLOCK (no overlap).
+func BenchmarkFig12TraceOriginal(b *testing.B) {
+	sys := molecule.Benzene631G()
+	traceBench(b, func(tr *trace.Trace) (float64, error) {
+		mk, err := ccsd.RunSimBaseline(sys, benchCluster(), 7, tr)
+		return mk.Seconds(), err
+	})
+}
+
+// BenchmarkEnergyVariants is the §IV-A equivalence run with real
+// arithmetic on the water system.
+func BenchmarkEnergyVariants(b *testing.B) {
+	w := tce.Inspect(tce.T2_7(molecule.Water631G()), nil)
+	ref := ccsd.ReferenceEnergy(w)
+	for _, spec := range ccsd.Variants() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ccsd.RunReal(w, spec, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d := res.Energy - ref; d > 1e-9 || d < -1e-9 {
+					b.Fatalf("energy drift: %g", d)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSegmentHeight sweeps the GEMM segment height of §IV-A
+// between the paper's two extremes (1 = max parallelism, full chain = max
+// locality, v1) through intermediate points.
+func BenchmarkAblationSegmentHeight(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v3")
+	for _, h := range []int{1, 2, 4, 8, 1 << 20} {
+		h := h
+		name := fmt.Sprintf("h-%d", h)
+		if h == 1<<20 {
+			name = "h-full"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := ccsd.RunSim(sys, spec, benchCluster(),
+					ccsd.SimRunConfig{CoresPerNode: 7, SegmentHeight: h})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Makespan.Seconds()
+			}
+			b.ReportMetric(last, "sim-s")
+		})
+	}
+}
+
+// BenchmarkAblationNxtvalRTT sweeps the shared-counter round trip of the
+// original code's global work stealing (§IV-D).
+func BenchmarkAblationNxtvalRTT(b *testing.B) {
+	sys := molecule.Benzene631G()
+	for _, rtt := range []sim.Time{0, 6 * sim.Microsecond, 60 * sim.Microsecond, 600 * sim.Microsecond} {
+		rtt := rtt
+		b.Run(fmt.Sprintf("rtt-%v", rtt), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCluster()
+				cfg.AtomicRTT = rtt
+				mk, err := ccsd.RunSimBaseline(sys, cfg, 7, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = mk.Seconds()
+			}
+			b.ReportMetric(last, "sim-s")
+		})
+	}
+}
+
+// BenchmarkAblationNetworkBW sweeps the NIC bandwidth to probe the
+// sensitivity of the variant ordering to the communication balance.
+func BenchmarkAblationNetworkBW(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v5")
+	for _, bw := range []float64{0.3e9, 1.2e9, 5e9} {
+		bw := bw
+		b.Run(fmt.Sprintf("nic-%.1fGBs", bw/1e9), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCluster()
+				cfg.NICBWBytes = bw
+				res, err := ccsd.RunSim(sys, spec, cfg, ccsd.SimRunConfig{CoresPerNode: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Makespan.Seconds()
+			}
+			b.ReportMetric(last, "sim-s")
+		})
+	}
+}
+
+// BenchmarkKernelGemm measures the real blocked DGEMM on a
+// production-size tile (the unit of compute in every experiment).
+func BenchmarkKernelGemm(b *testing.B) {
+	const m, n, k = 128, 128, 128
+	a := tensor.NewMatrix(k, m)
+	bb := tensor.NewMatrix(k, n)
+	c := tensor.NewMatrix(m, n)
+	ta := tensor.NewTile4(k, m, 1, 1)
+	ta.FillRandom(1, 1)
+	copy(a.Data, ta.Data)
+	tb := tensor.NewTile4(k, n, 1, 1)
+	tb.FillRandom(2, 1)
+	copy(bb.Data, tb.Data)
+	b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(true, false, 1, a, bb, 1, c)
+	}
+	flops := float64(tensor.GemmFlops(m, n, k)) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+// BenchmarkKernelSort4 measures the SORT_4 permutation kernel.
+func BenchmarkKernelSort4(b *testing.B) {
+	src := tensor.NewTile4(16, 16, 16, 16)
+	src.FillRandom(3, 1)
+	dst := tensor.NewTile4(16, 16, 16, 16)
+	b.SetBytes(src.Bytes() * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Sort4(dst, src, [4]int{2, 0, 3, 1}, -1)
+	}
+}
+
+// BenchmarkInspector measures the inspection phase on the full
+// beta-carotene workload.
+func BenchmarkInspector(b *testing.B) {
+	sys := molecule.BetaCarotene631G()
+	var chains int
+	for i := 0; i < b.N; i++ {
+		w := tce.Inspect(tce.T2_7(sys), nil)
+		chains = w.NumChains()
+	}
+	b.ReportMetric(float64(chains), "chains")
+}
+
+// BenchmarkTracker measures the dataflow engine: instantiating and
+// driving a variant graph to completion without executing bodies.
+func BenchmarkTracker(b *testing.B) {
+	w := tce.Inspect(tce.T2_7(molecule.Water631G()), nil)
+	spec, _ := ccsd.VariantByName("v5")
+	g := ccsd.BuildGraph(w, spec, ccsd.Options{Nodes: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := ptg.NewTracker(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queue := append([]*ptg.Instance(nil), tr.InitialReady()...)
+		for len(queue) > 0 {
+			in := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if err := tr.Start(in); err != nil {
+				b.Fatal(err)
+			}
+			dels, _, err := tr.Complete(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range dels {
+				ready, err := tr.Deliver(d.To, d.ToFlow, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ready {
+					queue = append(queue, d.To)
+				}
+			}
+		}
+		if !tr.Done() {
+			b.Fatal("tracker not drained")
+		}
+	}
+	_, total := g.CountTasks()
+	b.ReportMetric(float64(total), "tasks/graph")
+}
+
+// BenchmarkNxtvalCounter measures the shared-counter substrate itself.
+func BenchmarkNxtvalCounter(b *testing.B) {
+	s := ga.NewStore(1)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.NxtVal()
+		}
+	})
+}
+
+// BenchmarkPTGvsDTD quantifies the contrast §VI draws between the two
+// programming models: the PTG's compact symbolic representation
+// (tracker instantiation from closures) versus Dynamic Task Discovery
+// building the whole dependency DAG in memory by matching data accesses.
+// Compare allocations and ns/op between the two sub-benchmarks.
+func BenchmarkPTGvsDTD(b *testing.B) {
+	w := tce.Inspect(tce.T2_7(molecule.Benzene631G()), nil)
+	spec, _ := ccsd.VariantByName("v1") // serial chains: same DAG shape as the DTD skeleton
+	b.Run("PTG-construct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := ccsd.BuildGraph(w, spec, ccsd.Options{Nodes: 8})
+			if _, err := ptg.NewTracker(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DTD-construct", func(b *testing.B) {
+		b.ReportAllocs()
+		var edges int
+		for i := 0; i < b.N; i++ {
+			e, _ := ccsd.BuildDTD(w, false)
+			edges = e.NumEdges()
+		}
+		b.ReportMetric(float64(edges), "dag-edges")
+	})
+}
+
+// BenchmarkDTDExecution runs the kernel end to end through the DTD engine
+// with real arithmetic, for comparison with BenchmarkEnergyVariants.
+func BenchmarkDTDExecution(b *testing.B) {
+	w := tce.Inspect(tce.T2_7(molecule.Water631G()), nil)
+	ref := ccsd.ReferenceEnergy(w)
+	for i := 0; i < b.N; i++ {
+		got, err := ccsd.RunDTD(w, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := got - ref; d > 1e-9 || d < -1e-9 {
+			b.Fatalf("energy drift %g", d)
+		}
+	}
+}
+
+// BenchmarkAblationQueues probes the §IV-D intra-node scheduling choice:
+// one shared ready queue per node (PaRSEC's dynamic work stealing within
+// the node), statically pinned per-worker queues, and pinned queues with
+// stealing.
+func BenchmarkAblationQueues(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v5")
+	for _, mode := range []struct {
+		name string
+		q    simexec.QueueMode
+	}{
+		{"shared", simexec.SharedQueue},
+		{"pinned", simexec.PerWorker},
+		{"pinned-steal", simexec.PerWorkerSteal},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := ccsd.RunSim(sys, spec, benchCluster(),
+					ccsd.SimRunConfig{CoresPerNode: 7, Queues: mode.q})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Makespan.Seconds()
+			}
+			b.ReportMetric(last, "sim-s")
+		})
+	}
+}
+
+// BenchmarkT1Kernel runs the T1-shaped kernel (the generalization beyond
+// the paper's ported subroutine) through the simulator.
+func BenchmarkT1Kernel(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v5")
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := ccsd.RunSim(sys, spec, benchCluster(),
+			ccsd.SimRunConfig{CoresPerNode: 7, Kernel: "t1_2"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Makespan.Seconds()
+	}
+	b.ReportMetric(last, "sim-s")
+}
+
+// BenchmarkFusionVsStaged quantifies the §III-B integration claim: the
+// fused kernel+energy graph versus the staged execution with a Global
+// Array round trip and barrier between the two subroutines.
+func BenchmarkFusionVsStaged(b *testing.B) {
+	sys := molecule.Benzene631G()
+	var res ccsd.FusionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = ccsd.RunSimFusion(sys, benchCluster(), 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Staged.Seconds(), "staged-sim-s")
+	b.ReportMetric(res.Fused.Seconds(), "fused-sim-s")
+	b.ReportMetric(100*(1-res.Fused.Seconds()/res.Staged.Seconds()), "gain-%")
+}
+
+// BenchmarkAblationWriteSpan sweeps the Fig 8 block-spanning factor: how
+// many nodes each output block (and hence each chain's WRITE work) is
+// split across.
+func BenchmarkAblationWriteSpan(b *testing.B) {
+	sys := molecule.Benzene631G()
+	spec, _ := ccsd.VariantByName("v5")
+	for _, span := range []int{1, 2, 4} {
+		span := span
+		b.Run(fmt.Sprintf("span-%d", span), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := ccsd.RunSim(sys, spec, benchCluster(),
+					ccsd.SimRunConfig{CoresPerNode: 7, WriteSpan: span})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Makespan.Seconds()
+			}
+			b.ReportMetric(last, "sim-s")
+		})
+	}
+}

@@ -1,0 +1,241 @@
+// Command ccsim regenerates the paper's Fig 9 experiment: the execution
+// time of the icsd_t2_7 CCSD subroutine on a simulated 32-node cluster,
+// for the original NWChem code and the five PaRSEC variants of §IV-A,
+// across a sweep of cores per node. It prints the Fig 9 table, a CSV
+// series, and the derived §V claims (speedups, crossover, spread).
+//
+// Usage:
+//
+//	ccsim [-preset betacarotene] [-nodes 32] [-cores 1,3,7,11,15]
+//	      [-variants original,v1,v2,v3,v4,v5] [-csv out.csv] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"parsec/internal/ccsd"
+	"parsec/internal/cluster"
+	"parsec/internal/metrics"
+	"parsec/internal/molecule"
+	"parsec/internal/sim"
+	"parsec/internal/tce"
+)
+
+func main() {
+	preset := flag.String("preset", "betacarotene", "molecule preset: water, benzene, betacarotene")
+	nodes := flag.Int("nodes", 32, "number of nodes (paper: 32)")
+	coresList := flag.String("cores", "1,3,7,11,15", "comma-separated cores/node sweep (paper: 1,3,7,11,15)")
+	variants := flag.String("variants", "original,v1,v2,v3,v4,v5", "comma-separated series to run")
+	csvPath := flag.String("csv", "", "also write the series as CSV to this file")
+	quick := flag.Bool("quick", false, "shrink to benzene/8 nodes for a fast smoke run")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	sweep := flag.String("sweep", "", "run an ablation sweep instead of the Fig 9 table: gaservice, nic, contention, stride, segheight")
+	sweepCores := flag.Int("sweepcores", 7, "cores/node used by -sweep runs")
+	flag.Parse()
+
+	if *quick {
+		*preset = "benzene"
+		*nodes = 8
+	}
+	sys, err := molecule.Preset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	cores, err := parseInts(*coresList)
+	if err != nil {
+		fatal(err)
+	}
+	names := strings.Split(*variants, ",")
+
+	mcfg := cluster.CascadeLike()
+	mcfg.Nodes = *nodes
+
+	if *sweep != "" {
+		if err := runSweep(sys, mcfg, *sweep, *sweepCores, names); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	w := tce.Inspect(tce.T2_7(sys), nil)
+	fmt.Printf("system: %v\n", sys)
+	fmt.Printf("workload: %v\n", w.Stats())
+	fmt.Printf("machine: %d nodes, %.0f GFlop/s/core (contention %.2f), NIC %.1f GB/s, GA service %.2f GB/s\n\n",
+		mcfg.Nodes, mcfg.CoreGFlops, mcfg.GemmContention, mcfg.NICBWBytes/1e9, mcfg.GAServiceBW/1e9)
+
+	fig := &metrics.Fig9{
+		Title: fmt.Sprintf("Fig 9: CCSD icsd_t2_7() on %d nodes using %s (simulated seconds)", *nodes, sys.Name),
+		Cores: cores,
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		s := metrics.Series{Name: name, Times: map[int]float64{}}
+		for _, c := range cores {
+			t0 := time.Now()
+			sec, err := runOne(sys, name, mcfg, c)
+			if err != nil {
+				fatal(fmt.Errorf("%s @%d cores: %w", name, c, err))
+			}
+			s.Times[c] = sec
+			if *verbose {
+				fmt.Printf("  %-9s %2d cores/node: %8.2f s  (wall %v)\n", name, c, sec, time.Since(t0).Round(time.Millisecond))
+			}
+		}
+		fig.Add(s)
+	}
+
+	fmt.Println()
+	if err := fig.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	claims, err := metrics.DeriveClaims(fig, cores[len(cores)-1])
+	if err == nil {
+		fmt.Print(claims)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := fig.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+func runOne(sys *molecule.System, name string, mcfg cluster.Config, cores int) (float64, error) {
+	if name == "original" {
+		mk, err := ccsd.RunSimBaseline(sys, mcfg, cores, nil)
+		return mk.Seconds(), err
+	}
+	spec, err := ccsd.VariantByName(name)
+	if err != nil {
+		return 0, err
+	}
+	res, err := ccsd.RunSim(sys, spec, mcfg, ccsd.SimRunConfig{CoresPerNode: cores})
+	return res.Makespan.Seconds(), err
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad cores list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	os.Exit(1)
+}
+
+// sweepPoint is one configuration of an ablation sweep.
+type sweepPoint struct {
+	label string
+	mcfg  cluster.Config
+	rc    ccsd.SimRunConfig
+}
+
+// runSweep executes the named ablation: one machine/run parameter varied
+// across a fixed range, all requested series re-run at each point.
+func runSweep(sys *molecule.System, base cluster.Config, name string, cores int, names []string) error {
+	var points []sweepPoint
+	mk := func(label string, mutate func(*cluster.Config, *ccsd.SimRunConfig)) {
+		cfg := base
+		rc := ccsd.SimRunConfig{CoresPerNode: cores}
+		mutate(&cfg, &rc)
+		points = append(points, sweepPoint{label: label, mcfg: cfg, rc: rc})
+	}
+	switch name {
+	case "gaservice":
+		for _, bw := range []float64{0.05e9, 0.1e9, 0.21e9, 0.5e9, 1e9} {
+			bw := bw
+			mk(fmt.Sprintf("%.2fGB/s", bw/1e9), func(c *cluster.Config, _ *ccsd.SimRunConfig) { c.GAServiceBW = bw })
+		}
+	case "nic":
+		for _, bw := range []float64{0.3e9, 0.6e9, 1.2e9, 2.4e9, 5e9} {
+			bw := bw
+			mk(fmt.Sprintf("%.1fGB/s", bw/1e9), func(c *cluster.Config, _ *ccsd.SimRunConfig) { c.NICBWBytes = bw })
+		}
+	case "contention":
+		for _, b := range []float64{0, 0.1, 0.286, 0.5, 1} {
+			b := b
+			mk(fmt.Sprintf("beta=%.3f", b), func(c *cluster.Config, _ *ccsd.SimRunConfig) { c.GemmContention = b })
+		}
+	case "stride":
+		for _, us := range []int{0, 10, 47, 100, 200} {
+			us := us
+			mk(fmt.Sprintf("%dus", us), func(c *cluster.Config, _ *ccsd.SimRunConfig) {
+				c.GAStrideLatency = sim.Time(us) * sim.Microsecond
+			})
+		}
+	case "segheight":
+		for _, h := range []int{1, 2, 4, 8, 1 << 20} {
+			h := h
+			label := fmt.Sprintf("h=%d", h)
+			if h == 1<<20 {
+				label = "h=full"
+			}
+			mk(label, func(_ *cluster.Config, rc *ccsd.SimRunConfig) { rc.SegmentHeight = h })
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", name)
+	}
+
+	fmt.Printf("ablation sweep %q on %s, %d nodes x %d cores/node (simulated seconds)\n\n", name, sys.Name, base.Nodes, cores)
+	header := fmt.Sprintf("%-12s", "point")
+	for _, n := range names {
+		header += fmt.Sprintf("%12s", strings.TrimSpace(n))
+	}
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for _, pt := range points {
+		row := fmt.Sprintf("%-12s", pt.label)
+		for _, n := range names {
+			n = strings.TrimSpace(n)
+			var sec float64
+			var err error
+			if n == "original" {
+				var t sim.Time
+				t, err = ccsd.RunSimBaseline(sys, pt.mcfg, pt.rc.CoresPerNode, nil)
+				sec = t.Seconds()
+			} else {
+				var spec ccsd.VariantSpec
+				spec, err = ccsd.VariantByName(n)
+				if err == nil {
+					var res simexecResult
+					res, err = runVariant(sys, spec, pt.mcfg, pt.rc)
+					sec = res
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("%s @%s: %w", n, pt.label, err)
+			}
+			row += fmt.Sprintf("%12.2f", sec)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+type simexecResult = float64
+
+func runVariant(sys *molecule.System, spec ccsd.VariantSpec, mcfg cluster.Config, rc ccsd.SimRunConfig) (float64, error) {
+	res, err := ccsd.RunSim(sys, spec, mcfg, rc)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan.Seconds(), nil
+}

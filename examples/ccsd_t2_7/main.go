@@ -1,0 +1,60 @@
+// ccsd_t2_7 runs the ported CCSD subroutine with real tensor arithmetic:
+// it inspects the TCE loop nest for a small molecule, executes all five
+// algorithmic variants of §IV-A on the shared-memory runtime, and shows
+// that every variant reproduces the serial reference's correlation-energy
+// functional to ~14 digits — the paper's §IV-A claim that the reorderings
+// preserve semantics ("the final result computed by the different
+// variations matched up to the 14th digit").
+//
+// Run with: go run ./examples/ccsd_t2_7 [preset]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+
+	"parsec"
+)
+
+func main() {
+	preset := "water"
+	if len(os.Args) > 1 {
+		preset = os.Args[1]
+	}
+	sys, err := parsec.Molecule(preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := parsec.Inspect(sys)
+	fmt.Printf("system:   %v\n", sys)
+	fmt.Printf("workload: %v\n\n", w.Stats())
+
+	ref := parsec.ReferenceEnergy(w)
+	fmt.Printf("serial reference energy: %+.15e\n\n", ref)
+
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("%-4s %-62s %22s %10s %s\n", "", "variant", "energy", "digits", "tasks")
+	for _, spec := range parsec.Variants() {
+		res, err := parsec.RunCCSD(w, spec, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		digits := agreementDigits(res.Energy, ref)
+		fmt.Printf("%-4s %-62s %+22.15e %10.1f %d\n",
+			spec.Name, spec.Description, res.Energy, digits, res.Report.Tasks)
+	}
+	fmt.Println("\n(\"digits\" is -log10 of the relative difference from the reference;")
+	fmt.Println(" 15.3 means agreement beyond the 15th digit — full double precision.)")
+}
+
+// agreementDigits returns the number of agreeing significant digits.
+func agreementDigits(a, ref float64) float64 {
+	d := math.Abs(a-ref) / math.Abs(ref)
+	if d == 0 {
+		return 16
+	}
+	return -math.Log10(d)
+}

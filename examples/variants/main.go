@@ -1,0 +1,68 @@
+// variants reproduces a compact version of the paper's Fig 9 on the
+// simulated cluster: execution time of the original CGP code and the five
+// PaRSEC variants across a cores-per-node sweep, followed by the derived
+// §V claims (original saturation, best-variant speedup, variant spread).
+// It uses the medium "benzene" preset so it finishes in seconds; run
+// cmd/ccsim for the full beta-carotene / 32-node experiment.
+//
+// Run with: go run ./examples/variants
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"parsec"
+	"parsec/internal/metrics"
+)
+
+func main() {
+	sys, err := parsec.Molecule("benzene")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcfg := parsec.Cascade()
+	mcfg.Nodes = 8
+	cores := []int{1, 3, 7, 11, 15}
+
+	fmt.Printf("system: %v\n", sys)
+	fmt.Printf("machine: %d nodes (scaled-down Fig 9; see cmd/ccsim for the full run)\n\n", mcfg.Nodes)
+
+	fig := &metrics.Fig9{
+		Title: fmt.Sprintf("Fig 9 (reduced): icsd_t2_7 on %d nodes using %s", mcfg.Nodes, sys.Name),
+		Cores: cores,
+	}
+
+	orig := metrics.Series{Name: "original", Times: map[int]float64{}}
+	for _, c := range cores {
+		sec, err := parsec.SimulateBaseline(sys, mcfg, c, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orig.Times[c] = sec
+	}
+	fig.Add(orig)
+
+	for _, spec := range parsec.Variants() {
+		s := metrics.Series{Name: spec.Name, Times: map[int]float64{}}
+		for _, c := range cores {
+			res, err := parsec.Simulate(sys, spec, mcfg, parsec.SimConfig{CoresPerNode: c})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Times[c] = res.Makespan.Seconds()
+		}
+		fig.Add(s)
+	}
+
+	if err := fig.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	claims, err := metrics.DeriveClaims(fig, cores[len(cores)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(claims)
+}

@@ -1,0 +1,3 @@
+module parsec
+
+go 1.22

@@ -1,0 +1,540 @@
+package ccsd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsec/internal/cluster"
+	"parsec/internal/ga"
+	"parsec/internal/molecule"
+	"parsec/internal/ptg"
+	"parsec/internal/runtime"
+	"parsec/internal/simexec"
+	"parsec/internal/tce"
+	"parsec/internal/trace"
+)
+
+func waterWorkload() *tce.Workload {
+	return tce.Inspect(tce.T2_7(molecule.Water631G()), nil)
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return d
+}
+
+// TestAllVariantsMatchReference is experiment E5 (§IV-A): every
+// algorithmic variant computes the same correlation energy as the serial
+// reference to ~14 digits.
+func TestAllVariantsMatchReference(t *testing.T) {
+	w := waterWorkload()
+	ref := ReferenceEnergy(w)
+	if ref == 0 || math.IsNaN(ref) {
+		t.Fatalf("degenerate reference energy %v", ref)
+	}
+	for _, spec := range Variants() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := RunReal(w, spec, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := relDiff(res.Energy, ref); d > 1e-12 {
+				t.Errorf("%s energy %.15g differs from reference %.15g (rel %g)",
+					spec.Name, res.Energy, ref, d)
+			}
+		})
+	}
+}
+
+func TestVariantTaskCounts(t *testing.T) {
+	w := waterWorkload()
+	st := w.Stats()
+	for _, spec := range Variants() {
+		g := BuildGraph(w, spec, Options{Nodes: 4})
+		counts, _ := g.CountTasks()
+		if counts["GEMM"] != st.Gemms {
+			t.Errorf("%s: GEMM count %d, want %d", spec.Name, counts["GEMM"], st.Gemms)
+		}
+		if counts["READA"] != st.Gemms || counts["READB"] != st.Gemms {
+			t.Errorf("%s: read counts %d/%d, want %d", spec.Name, counts["READA"], counts["READB"], st.Gemms)
+		}
+		if spec.SerialGemms {
+			if counts["DFILL"] != st.Chains {
+				t.Errorf("v1: DFILL count %d, want %d (one per chain)", counts["DFILL"], st.Chains)
+			}
+			if counts["REDUCE"] != 0 {
+				t.Errorf("v1: REDUCE count %d, want 0", counts["REDUCE"])
+			}
+		} else {
+			if counts["DFILL"] != st.Gemms {
+				t.Errorf("%s: DFILL count %d, want %d (one per GEMM)", spec.Name, counts["DFILL"], st.Gemms)
+			}
+			if counts["REDUCE"] == 0 {
+				t.Errorf("%s: no REDUCE tasks", spec.Name)
+			}
+		}
+		if spec.ParallelSorts {
+			if counts["SORT"] != st.Sorts {
+				t.Errorf("%s: SORT count %d, want %d", spec.Name, counts["SORT"], st.Sorts)
+			}
+		} else if counts["SORT"] != st.Chains {
+			t.Errorf("%s: SORT count %d, want %d", spec.Name, counts["SORT"], st.Chains)
+		}
+		if spec.ParallelWrites {
+			if counts["WRITE"] != st.Sorts {
+				t.Errorf("%s: WRITE count %d, want %d", spec.Name, counts["WRITE"], st.Sorts)
+			}
+		} else if counts["WRITE"] != st.Chains {
+			t.Errorf("%s: WRITE count %d, want %d", spec.Name, counts["WRITE"], st.Chains)
+		}
+	}
+}
+
+func TestSegmentHeightAblationMatchesReference(t *testing.T) {
+	w := waterWorkload()
+	ref := ReferenceEnergy(w)
+	spec, _ := VariantByName("v3")
+	for _, h := range []int{2, 3, 5} {
+		store := buildAndRunWithHeight(t, w, spec, h)
+		if d := relDiff(store, ref); d > 1e-12 {
+			t.Errorf("height %d: energy %.15g vs reference %.15g", h, store, ref)
+		}
+	}
+}
+
+func buildAndRunWithHeight(t *testing.T, w *tce.Workload, spec VariantSpec, h int) float64 {
+	t.Helper()
+	// RunReal with a custom segment height.
+	res, err := runRealWithOptions(w, spec, 4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Energy
+}
+
+func TestChainPlanShapes(t *testing.T) {
+	meta := &tce.ChainMeta{Gemms: make([]tce.GemmMeta, 7)}
+	p := newChainPlan(meta, 1)
+	if p.m != 7 || p.top != 3 {
+		t.Errorf("h=1: m=%d top=%d, want 7, 3", p.m, p.top)
+	}
+	if got := p.width; got[0] != 7 || got[1] != 4 || got[2] != 2 || got[3] != 1 {
+		t.Errorf("width = %v", got)
+	}
+	p = newChainPlan(meta, 7)
+	if p.m != 1 || p.top != 0 {
+		t.Errorf("h=n: m=%d top=%d, want 1, 0", p.m, p.top)
+	}
+	p = newChainPlan(meta, 3)
+	if p.m != 3 || p.segLast(0) != 2 || p.segLast(2) != 6 {
+		t.Errorf("h=3: m=%d lasts=%d,%d", p.m, p.segLast(0), p.segLast(2))
+	}
+	if !p.isSegEnd(6) || p.isSegEnd(3) {
+		t.Error("isSegEnd wrong")
+	}
+	// Height clamped to n.
+	p = newChainPlan(meta, 100)
+	if p.h != 7 {
+		t.Errorf("h clamped to %d", p.h)
+	}
+}
+
+func TestVariantByName(t *testing.T) {
+	for _, name := range []string{"v1", "v2", "v3", "v4", "v5"} {
+		v, err := VariantByName(name)
+		if err != nil || v.Name != name {
+			t.Errorf("VariantByName(%q) = %v, %v", name, v, err)
+		}
+	}
+	if _, err := VariantByName("v9"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if (VariantSpec{Name: "x", Description: "y"}).String() != "x: y" {
+		t.Error("String format")
+	}
+}
+
+func TestGraphsValidateForAllVariants(t *testing.T) {
+	w := waterWorkload()
+	for _, spec := range Variants() {
+		g := BuildGraph(w, spec, Options{Nodes: 3})
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if _, err := ptg.NewTracker(g); err != nil {
+			t.Errorf("%s tracker: %v", spec.Name, err)
+		}
+	}
+}
+
+func simConfig(nodes, cores int) cluster.Config {
+	cfg := cluster.CascadeLike()
+	cfg.Nodes = nodes
+	cfg.CoresPerNode = cores
+	return cfg
+}
+
+func TestSimAllVariantsComplete(t *testing.T) {
+	sys := molecule.Water631G()
+	for _, spec := range Variants() {
+		res, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("%s: zero makespan", spec.Name)
+		}
+		if res.ByClass["GEMM"] == 0 || res.ByClass["WRITE"] == 0 {
+			t.Errorf("%s: missing classes: %v", spec.Name, res.ByClass)
+		}
+	}
+}
+
+func TestSimTraceWellFormed(t *testing.T) {
+	sys := molecule.Water631G()
+	tr := trace.New()
+	spec, _ := VariantByName("v4")
+	if _, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 3, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	if tr.Len() == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestSimBaselineCompletes(t *testing.T) {
+	sys := molecule.Water631G()
+	mk, err := RunSimBaseline(sys, simConfig(4, 4), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk <= 0 {
+		t.Error("zero baseline makespan")
+	}
+}
+
+func TestSimMoreCoresHelpParallelVariant(t *testing.T) {
+	sys := molecule.Benzene631G()
+	spec, _ := VariantByName("v5")
+	r1, err := RunSim(sys, spec, simConfig(4, 8), SimRunConfig{CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunSim(sys, spec, simConfig(4, 8), SimRunConfig{CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Makespan >= r1.Makespan {
+		t.Errorf("v5 with 4 cores (%v) not faster than 1 core (%v)", r4.Makespan, r1.Makespan)
+	}
+}
+
+// TestT1KernelAllVariants shows the port generalizes beyond icsd_t2_7
+// (§VII: "the effort to port a larger part of the application"): the same
+// variant graphs execute the T1-shaped kernel and reproduce its serial
+// reference energy.
+func TestT1KernelAllVariants(t *testing.T) {
+	w := tce.Inspect(tce.T1_2(molecule.Water631G()), nil)
+	ref := ReferenceEnergy(w)
+	if ref == 0 {
+		t.Fatal("degenerate T1 reference")
+	}
+	for _, spec := range Variants() {
+		res, err := RunReal(w, spec, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if d := relDiff(res.Energy, ref); d > 1e-12 {
+			t.Errorf("%s: T1 energy %.15g vs reference %.15g", spec.Name, res.Energy, ref)
+		}
+	}
+}
+
+// TestPriorityPipeline is experiment E7: the §IV-C priority expressions
+// give read tasks a +5P offset and GEMMs +1P, so at least 4P chains'
+// worth of reads outrank the most urgent GEMM — the depth-5P data
+// prefetch pipeline.
+func TestPriorityPipeline(t *testing.T) {
+	const nodes = 4
+	w := waterWorkload()
+	spec, _ := VariantByName("v4")
+	g := BuildGraph(w, spec, Options{Nodes: nodes})
+	read := g.ClassByName("READA")
+	gemm := g.ClassByName("GEMM")
+	sort := g.ClassByName("SORT")
+	a := ptg.A2(3, 0)
+	if got := read.Priority(a) - gemm.Priority(a); got != 4*nodes {
+		t.Errorf("read-gemm priority gap = %d, want %d", got, 4*nodes)
+	}
+	if got := gemm.Priority(a) - sort.Priority(a); got != nodes {
+		t.Errorf("gemm-sort priority gap = %d, want %d", got, nodes)
+	}
+	// Priorities decrease with the chain number.
+	if read.Priority(ptg.A2(0, 0)) <= read.Priority(ptg.A2(5, 0)) {
+		t.Error("priority not decreasing with chain number")
+	}
+	// v2 disables priorities entirely.
+	v2, _ := VariantByName("v2")
+	g2 := BuildGraph(w, v2, Options{Nodes: nodes})
+	if g2.ClassByName("GEMM").Priority != nil {
+		t.Error("v2 has priorities")
+	}
+}
+
+// TestDTDMatchesReference runs the kernel through the Dynamic Task
+// Discovery frontend (§VI's alternative model) and checks it reproduces
+// the reference energy, for both kernels.
+func TestDTDMatchesReference(t *testing.T) {
+	for _, k := range []string{"t2_7", "t1_2"} {
+		sys := molecule.Water631G()
+		kr, err := tce.KernelByName(k, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := tce.Inspect(kr, nil)
+		ref := ReferenceEnergy(w)
+		got, err := RunDTD(w, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if d := relDiff(got, ref); d > 1e-12 {
+			t.Errorf("%s: DTD energy %.15g vs reference %.15g", k, got, ref)
+		}
+	}
+}
+
+// TestDTDBuildsDAGInMemory verifies the structural contrast §VI draws:
+// the DTD engine materializes one edge per discovered dependency, while
+// the PTG needs none before execution.
+func TestDTDBuildsDAGInMemory(t *testing.T) {
+	w := waterWorkload()
+	e, _ := BuildDTD(w, false)
+	st := w.Stats()
+	// Each chain contributes: DFILL->GEMM0, GEMM i->i+1 (serial RW), and
+	// one edge per sort; GEMM input reads add no edges (blocks have no
+	// writer). So edges = gemms + sorts per chain arithmetic.
+	wantMin := st.Gemms // every GEMM depends on its predecessor or DFILL
+	if e.NumEdges() < wantMin {
+		t.Errorf("edges = %d, want >= %d", e.NumEdges(), wantMin)
+	}
+	if e.NumTasks() != st.Chains+st.Gemms+st.Sorts {
+		t.Errorf("tasks = %d, want %d", e.NumTasks(), st.Chains+st.Gemms+st.Sorts)
+	}
+}
+
+// TestPropertyVariantsMatchReferenceOnRandomSystems drives the whole
+// pipeline — tiling, symmetry filtering, inspection, graph construction,
+// parallel execution — on randomized orbital spaces and checks the §IV-A
+// equivalence against the serial reference every time.
+func TestPropertyVariantsMatchReferenceOnRandomSystems(t *testing.T) {
+	f := func(occ, virt, tile, irr uint8, seed uint64) bool {
+		nOcc := int(occ%5) + 2
+		nVirt := int(virt%6) + 3
+		target := int(tile%3) + 2
+		nIrr := []int{1, 2, 4}[int(irr)%3]
+		sys := molecule.Custom("prop", nOcc, nVirt, target, nIrr, seed)
+		w := tce.Inspect(tce.T2_7(sys), nil)
+		if w.NumChains() == 0 {
+			return true // fully symmetry-forbidden space
+		}
+		ref := ReferenceEnergy(w)
+		for _, name := range []string{"v1", "v5"} {
+			spec, _ := VariantByName(name)
+			res, err := RunReal(w, spec, 3)
+			if err != nil {
+				t.Logf("%s on %v: %v", name, sys, err)
+				return false
+			}
+			if relDiff(res.Energy, ref) > 1e-11 {
+				t.Logf("%s energy %.15g vs %.15g on %v", name, res.Energy, ref, sys)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimQueueModesSameTaskCounts: the scheduler structure must not
+// change what executes.
+func TestSimQueueModesSameTaskCounts(t *testing.T) {
+	sys := molecule.Water631G()
+	spec, _ := VariantByName("v4")
+	var counts []int
+	for _, q := range []simexec.QueueMode{simexec.SharedQueue, simexec.PerWorker, simexec.PerWorkerSteal} {
+		res, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 3, Queues: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, res.Tasks)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("task counts differ across queue modes: %v", counts)
+	}
+}
+
+// TestSimT1Kernel runs the T1 kernel through the simulator.
+func TestSimT1Kernel(t *testing.T) {
+	sys := molecule.Water631G()
+	spec, _ := VariantByName("v5")
+	res, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 2, Kernel: "t1_2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.ByClass["GEMM"] == 0 {
+		t.Errorf("degenerate T1 sim: %v", res)
+	}
+	if _, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 2, Kernel: "bogus"}); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}
+
+// TestFusedEnergyMatchesReference: the fused kernel+energy graph (§III-B
+// future-work integration) computes the same scalar as the staged
+// reference path.
+func TestFusedEnergyMatchesReference(t *testing.T) {
+	w := waterWorkload()
+	ref := ReferenceEnergy(w)
+	got, err := RunRealFused(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(got, ref); d > 1e-12 {
+		t.Errorf("fused energy %.15g vs reference %.15g", got, ref)
+	}
+}
+
+// TestSimFusionBeatsStaged: fusing the subroutines must remove the GA
+// round trip, so the fused makespan is below kernel+energy staged.
+func TestSimFusionBeatsStaged(t *testing.T) {
+	res, err := RunSimFusion(molecule.Benzene631G(), simConfig(8, 8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fused <= 0 || res.Staged <= 0 {
+		t.Fatalf("degenerate: %v", res)
+	}
+	if res.Fused >= res.Staged {
+		t.Errorf("fused (%v) not faster than staged (%v)", res.Fused, res.Staged)
+	}
+	if res.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	ts := newTreeShape(1)
+	if ts.top != 0 || len(ts.width) != 1 {
+		t.Errorf("m=1: %+v", ts)
+	}
+	ts = newTreeShape(5)
+	if ts.top != 3 || ts.width[1] != 3 || ts.width[2] != 2 || ts.width[3] != 1 {
+		t.Errorf("m=5: %+v", ts)
+	}
+}
+
+// TestSegmentedWritesMatchReference is the Fig 8 experiment: with output
+// blocks spanning several nodes, one WRITE_C instance per segment updates
+// only its slice — and the result is unchanged.
+func TestSegmentedWritesMatchReference(t *testing.T) {
+	w := waterWorkload()
+	ref := ReferenceEnergy(w)
+	for _, name := range []string{"v4", "v5"} {
+		spec, _ := VariantByName(name)
+		for _, span := range []int{2, 3} {
+			res, err := runRealWithWriteSpan(w, spec, 4, span)
+			if err != nil {
+				t.Fatalf("%s span %d: %v", name, span, err)
+			}
+			if d := relDiff(res, ref); d > 1e-12 {
+				t.Errorf("%s span %d: energy %.15g vs %.15g", name, span, res, ref)
+			}
+		}
+	}
+}
+
+func runRealWithWriteSpan(w *tce.Workload, spec VariantSpec, workers, span int) (float64, error) {
+	store := ga.NewStore(1)
+	aName, bName := w.InputTensors()
+	a := store.Create(aName)
+	bt := store.Create(bName)
+	store.Create(tce.TensorC)
+	for _, ref := range w.UniqueBlocks(aName) {
+		w.FillBlock(ref, a.GetOrCreate(ref.Key, ref.Dims))
+	}
+	for _, ref := range w.UniqueBlocks(bName) {
+		w.FillBlock(ref, bt.GetOrCreate(ref.Key, ref.Dims))
+	}
+	g := BuildGraph(w, spec, Options{Nodes: 1, Store: store, WriteSpan: span})
+	if _, err := runtime.Run(g, runtime.Config{Workers: workers}); err != nil {
+		return 0, err
+	}
+	return w.Energy(store.Array(tce.TensorC)), nil
+}
+
+// TestSimSegmentedWrites: the simulated run completes with spanning
+// blocks and produces span WRITE instances per chain.
+func TestSimSegmentedWrites(t *testing.T) {
+	sys := molecule.Water631G()
+	spec, _ := VariantByName("v5")
+	res, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 2, WriteSpan: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tce.Inspect(tce.T2_7(sys), nil)
+	if res.ByClass["WRITE"] != 3*w.NumChains() {
+		t.Errorf("WRITE instances = %d, want %d", res.ByClass["WRITE"], 3*w.NumChains())
+	}
+}
+
+// TestInBytesSplitsTransfers: a spanning write's deliveries carry only
+// the per-segment slice size.
+func TestInBytesSplitsTransfers(t *testing.T) {
+	w := waterWorkload()
+	spec, _ := VariantByName("v5")
+	g := BuildGraph(w, spec, Options{Nodes: 4, WriteSpan: 2})
+	tr, err := ptg.NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive to completion, checking WRITE-bound delivery sizes.
+	queue := append([]*ptg.Instance(nil), tr.InitialReady()...)
+	checked := false
+	for len(queue) > 0 {
+		in := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		tr.Start(in)
+		dels, _, err := tr.Complete(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dels {
+			if d.To.Ref.Class == "WRITE" {
+				full := w.Chains[d.To.Ref.Args[0]].CBytes()
+				want := (full + 1) / 2
+				if d.Bytes != want {
+					t.Fatalf("WRITE delivery %d bytes, want %d (half of %d)", d.Bytes, want, full)
+				}
+				checked = true
+			}
+			if ok, err := tr.Deliver(d.To, d.ToFlow, nil); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				queue = append(queue, d.To)
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("no WRITE deliveries observed")
+	}
+}

@@ -1,0 +1,90 @@
+package ccsd
+
+import (
+	"fmt"
+
+	"parsec/internal/dtd"
+	"parsec/internal/tce"
+	"parsec/internal/tensor"
+)
+
+// BuildDTD expresses the ported kernel as a Dynamic Task Discovery
+// skeleton program — the alternative programming model of §VI: the
+// skeleton inserts one task per DFILL/GEMM/SORT/WRITE in program order,
+// declaring data accesses, and the engine discovers the dependency DAG in
+// memory by access matching. The expression is the natural DTD port (the
+// serial-chain organization; expressing the reduction-tree variants would
+// require restructuring the skeleton, which is exactly the flexibility
+// point the paper makes for the PTG).
+//
+// If materialize is true, input blocks are seeded and task bodies perform
+// the real arithmetic; otherwise bodies are nil and the engine only
+// builds the DAG (for construction-cost comparisons).
+func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTensor4) {
+	e := dtd.New()
+	out := tensor.NewBlockTensor4()
+	var a, b *tensor.BlockTensor4
+	if materialize {
+		a, b = w.Materialize()
+		aName, bName := w.InputTensors()
+		for _, ref := range w.UniqueBlocks(aName) {
+			e.Put(ref.String(), a.MustTile(ref.Key))
+		}
+		for _, ref := range w.UniqueBlocks(bName) {
+			e.Put(ref.String(), b.MustTile(ref.Key))
+		}
+	}
+	numChains := int64(len(w.Chains))
+	for _, c := range w.Chains {
+		c := c
+		ckey := fmt.Sprintf("C(%d)", c.ID)
+		prio := numChains - int64(c.ID)
+		var body func(*dtd.Ctx)
+		if materialize {
+			body = func(ctx *dtd.Ctx) {
+				d := c.CDims
+				ctx.Set(ckey, tensor.NewTile4(d[0], d[1], d[2], d[3]))
+			}
+		}
+		e.Insert(fmt.Sprintf("DFILL(%d)", c.ID), prio, body, dtd.Write(ckey))
+		for pos, g := range c.Gemms {
+			g := g
+			if materialize {
+				body = func(ctx *dtd.Ctx) {
+					at := ctx.Get(g.Op.A.String()).(*tensor.Tile4)
+					bt := ctx.Get(g.Op.B.String()).(*tensor.Tile4)
+					ct := ctx.Get(ckey).(*tensor.Tile4)
+					tensor.Gemm(true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, ct.AsMatrix())
+				}
+			}
+			e.Insert(fmt.Sprintf("GEMM(%d,%d)", c.ID, pos), prio+int64(numChains), body,
+				dtd.ReadWrite(ckey), dtd.Read(g.Op.A.String()), dtd.Read(g.Op.B.String()))
+		}
+		for _, s := range c.Sorts {
+			s := s
+			if materialize {
+				body = func(ctx *dtd.Ctx) {
+					src := ctx.Get(ckey).(*tensor.Tile4)
+					d := c.Out.Dims
+					dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
+					tensor.Sort4(dst, src, s.Perm, s.Sign)
+					out.Acc(c.Out.Key, dst, 1)
+				}
+			}
+			e.Insert(fmt.Sprintf("SORTWRITE(%d,%d)", c.ID, s.Branch), prio, body,
+				dtd.Read(ckey))
+		}
+	}
+	return e, out
+}
+
+// RunDTD executes the workload through the DTD engine with real
+// arithmetic and returns the correlation-energy functional, which must
+// match the PTG variants and the serial reference.
+func RunDTD(w *tce.Workload, workers int) (float64, error) {
+	e, out := BuildDTD(w, true)
+	if err := e.Run(workers); err != nil {
+		return 0, err
+	}
+	return w.Energy(out), nil
+}

@@ -1,0 +1,544 @@
+package ccsd
+
+import (
+	"fmt"
+
+	"parsec/internal/ga"
+	"parsec/internal/ptg"
+	"parsec/internal/tce"
+	"parsec/internal/tensor"
+)
+
+// Options configures graph construction.
+type Options struct {
+	// Nodes is the affinity modulus: chains are distributed round-robin
+	// over this many nodes (§IV-D), reads and writes run at the nodes
+	// owning the Global Array blocks (§IV-B). Use 1 for shared memory.
+	Nodes int
+	// Store, when non-nil, attaches real task bodies operating on the
+	// Global Arrays store (for the goroutine runtime). When nil the graph
+	// carries only the simulation cost model.
+	Store *ga.Store
+	// SegmentHeight overrides the GEMM segment height; <= 0 selects the
+	// variant default (full chain for v1, height 1 otherwise). This is
+	// the locality/parallelism dial of §IV-A.
+	SegmentHeight int
+	// WriteSpan > 1 splits each output block across that many adjacent
+	// nodes, as Fig 8 depicts: one WRITE_C instance per node holding a
+	// segment, each receiving only the slice of the sorted matrix
+	// relevant to its node. Applies to the single-WRITE variants
+	// (v2/v4/v5); 0 or 1 keeps one instance per chain.
+	WriteSpan int
+}
+
+// writeSpan returns the effective span (>= 1).
+func (o Options) writeSpan() int {
+	if o.WriteSpan < 1 {
+		return 1
+	}
+	return o.WriteSpan
+}
+
+// Priority offsets of §IV-C: "We assign a higher priority to the tasks
+// that read the input data ... (+5), then follow the tasks that perform
+// the GEMM operation with offset +1, and all other task classes do not
+// have an offset", each scaled by the number of participating nodes P,
+// yielding a data-prefetch pipeline of depth 5·P.
+const (
+	readPriorityOffset = 5
+	gemmPriorityOffset = 1
+)
+
+// builder carries construction state.
+type builder struct {
+	g     *ptg.Graph
+	w     *tce.Workload
+	spec  VariantSpec
+	opts  Options
+	ps    []*chainPlan
+	nodes int
+}
+
+// BuildGraph constructs the PTG for one variant of the ported subroutine.
+func BuildGraph(w *tce.Workload, spec VariantSpec, opts Options) *ptg.Graph {
+	nodes := opts.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	b := &builder{
+		g:     ptg.NewGraph(fmt.Sprintf("icsd_t2_7-%s", spec.Name)),
+		w:     w,
+		spec:  spec,
+		opts:  opts,
+		ps:    plans(w, spec, opts.SegmentHeight),
+		nodes: nodes,
+	}
+	b.buildDFill()
+	b.buildReads()
+	b.buildGemm()
+	b.buildReduce()
+	b.buildSort()
+	b.buildWrite()
+	return b.g
+}
+
+// ---- helpers ----
+
+func (b *builder) numChains() int { return len(b.ps) }
+
+// chainNode is the §IV-D static round-robin distribution of chains.
+func (b *builder) chainNode(l1 int) int { return l1 % b.nodes }
+
+func (b *builder) ownerNode(recorded int) int {
+	if recorded < 0 {
+		return 0
+	}
+	return recorded % b.nodes
+}
+
+// priority returns the §IV-C expression max_L1 - L1 + offset*P, or nil
+// when the variant disables priorities.
+func (b *builder) priority(offset int) func(ptg.Args) int64 {
+	if !b.spec.UsePriorities {
+		return nil
+	}
+	max := int64(b.numChains())
+	p := int64(b.nodes)
+	return func(a ptg.Args) int64 { return max - int64(a[0]) + int64(offset)*p }
+}
+
+// sortSource identifies the producer of a chain's final C: the last GEMM
+// when there is a single segment, else the top of the reduction tree.
+func (b *builder) sortSource(l1 int) (ptg.TaskRef, string) {
+	p := b.ps[l1]
+	if p.m == 1 {
+		return ptg.TaskRef{Class: "GEMM", Args: ptg.A2(l1, p.n-1)}, "C"
+	}
+	return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(l1, p.top, 0)}, "X"
+}
+
+// addSortStageOuts appends the guarded output dependencies that route a
+// chain's final C to its SORT task(s). srcGuard limits firing to the
+// producing instance.
+func (b *builder) addSortStageOuts(f *ptg.Flow, srcGuard func(ptg.Args) bool) {
+	if b.spec.ParallelSorts {
+		for i := 0; i < 4; i++ {
+			i := i
+			f.Out(func(a ptg.Args) bool {
+				return srcGuard(a) && i < b.ps[a[0]].nsorts
+			}, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "SORT", Args: ptg.A2(a[0], i)}, "C"
+			})
+		}
+		return
+	}
+	f.Out(srcGuard, func(a ptg.Args) (ptg.TaskRef, string) {
+		return ptg.TaskRef{Class: "SORT", Args: ptg.A1(a[0])}, "C"
+	})
+}
+
+// ---- task classes ----
+
+func (b *builder) buildDFill() {
+	tc := b.g.Class("DFILL")
+	tc.Domain = func(emit func(ptg.Args)) {
+		for l1, p := range b.ps {
+			for s := 0; s < p.m; s++ {
+				emit(ptg.A2(l1, s))
+			}
+		}
+	}
+	tc.Affinity = func(a ptg.Args) int { return b.chainNode(a[0]) }
+	tc.Priority = b.priority(0)
+	tc.Cost = func(a ptg.Args) ptg.Cost {
+		return ptg.Cost{MemBytes: b.ps[a[0]].cbytes}
+	}
+	tc.FlowBytes = func(a ptg.Args, flow string) int64 { return b.ps[a[0]].cbytes }
+	f := tc.AddFlow("C", ptg.Write)
+	f.InNew(nil, func(a ptg.Args) int64 { return b.ps[a[0]].cbytes })
+	f.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+		return ptg.TaskRef{Class: "GEMM", Args: ptg.A2(a[0], a[1]*b.ps[a[0]].h)}, "C"
+	})
+	if store := b.opts.Store; store != nil {
+		tc.Body = func(ctx *ptg.Ctx) {
+			d := b.ps[ctx.Args[0]].meta.CDims
+			ctx.Out[0] = tensor.NewTile4(d[0], d[1], d[2], d[3])
+		}
+	}
+}
+
+func (b *builder) buildReads() {
+	type readSpec struct {
+		class string
+		ref   func(g tce.GemmMeta) tce.BlockRef
+		node  func(g tce.GemmMeta) int
+	}
+	for _, rs := range []readSpec{
+		{"READA",
+			func(g tce.GemmMeta) tce.BlockRef { return g.Op.A },
+			func(g tce.GemmMeta) int { return g.ANode }},
+		{"READB",
+			func(g tce.GemmMeta) tce.BlockRef { return g.Op.B },
+			func(g tce.GemmMeta) int { return g.BNode }},
+	} {
+		rs := rs
+		tc := b.g.Class(rs.class)
+		tc.Domain = func(emit func(ptg.Args)) {
+			for l1, p := range b.ps {
+				for l2 := 0; l2 < p.n; l2++ {
+					emit(ptg.A2(l1, l2))
+				}
+			}
+		}
+		// Reads execute where the Global Array segment lives (Fig 1's
+		// find_last_segment_owner); PaRSEC ships the result to the GEMM.
+		tc.Affinity = func(a ptg.Args) int {
+			return b.ownerNode(rs.node(b.ps[a[0]].meta.Gemms[a[1]]))
+		}
+		tc.Priority = b.priority(readPriorityOffset)
+		tc.Cost = func(a ptg.Args) ptg.Cost {
+			// Local gather of the strided block into a contiguous send
+			// buffer via ga_access (§IV-B): memory traffic only.
+			return ptg.Cost{MemBytes: 2 * rs.ref(b.ps[a[0]].meta.Gemms[a[1]]).Bytes()}
+		}
+		tc.FlowBytes = func(a ptg.Args, flow string) int64 {
+			return rs.ref(b.ps[a[0]].meta.Gemms[a[1]]).Bytes()
+		}
+		flowName := "A"
+		if rs.class == "READB" {
+			flowName = "B"
+		}
+		f := tc.AddFlow("D", ptg.Write)
+		f.InData(nil, func(a ptg.Args) ptg.DataRef {
+			ref := rs.ref(b.ps[a[0]].meta.Gemms[a[1]])
+			return ptg.DataRef{ID: ref.String(), Node: b.ownerNode(rs.node(b.ps[a[0]].meta.Gemms[a[1]])), Bytes: ref.Bytes()}
+		})
+		f.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "GEMM", Args: a}, flowName
+		})
+		if store := b.opts.Store; store != nil {
+			tc.Body = func(ctx *ptg.Ctx) {
+				ref := rs.ref(b.ps[ctx.Args[0]].meta.Gemms[ctx.Args[1]])
+				// ga_access: direct, zero-copy reference (§IV-B); GEMMs
+				// only read A and B, so no copy is needed.
+				ctx.Out[0] = store.Access(ref.Tensor, ref.Key)
+			}
+		}
+	}
+}
+
+func (b *builder) buildGemm() {
+	tc := b.g.Class("GEMM")
+	tc.Domain = func(emit func(ptg.Args)) {
+		for l1, p := range b.ps {
+			for l2 := 0; l2 < p.n; l2++ {
+				emit(ptg.A2(l1, l2))
+			}
+		}
+	}
+	tc.Affinity = func(a ptg.Args) int { return b.chainNode(a[0]) }
+	tc.Priority = b.priority(gemmPriorityOffset)
+	tc.Cost = func(a ptg.Args) ptg.Cost {
+		p := b.ps[a[0]]
+		g := p.meta.Gemms[a[1]]
+		return ptg.Cost{
+			Flops:     g.Op.Flops(),
+			GemmBytes: g.Op.A.Bytes() + g.Op.B.Bytes() + p.cbytes,
+			// A and B panels are streamed fresh from memory regardless of
+			// chain organization, so GEMM traffic is never cache-warm;
+			// v1's locality advantage shows up in the SORT/WRITE path.
+			Warm: false,
+		}
+	}
+	tc.FlowBytes = func(a ptg.Args, flow string) int64 {
+		if flow == "C" {
+			return b.ps[a[0]].cbytes
+		}
+		return 0
+	}
+	tc.AddFlow("A", ptg.Read).In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+		return ptg.TaskRef{Class: "READA", Args: a}, "D"
+	})
+	tc.AddFlow("B", ptg.Read).In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+		return ptg.TaskRef{Class: "READB", Args: a}, "D"
+	})
+	c := tc.AddFlow("C", ptg.RW)
+	c.In(func(a ptg.Args) bool { return b.ps[a[0]].posInSeg(a[1]) == 0 },
+		func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "DFILL", Args: ptg.A2(a[0], b.ps[a[0]].seg(a[1]))}, "C"
+		})
+	c.In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+		return ptg.TaskRef{Class: "GEMM", Args: ptg.A2(a[0], a[1]-1)}, "C"
+	})
+	// Within a segment: pass C to the next GEMM.
+	c.Out(func(a ptg.Args) bool { return !b.ps[a[0]].isSegEnd(a[1]) },
+		func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "GEMM", Args: ptg.A2(a[0], a[1]+1)}, "C"
+		})
+	// Segment end, multiple segments: feed the reduction tree (Fig 4).
+	c.Out(func(a ptg.Args) bool {
+		p := b.ps[a[0]]
+		return p.isSegEnd(a[1]) && p.m > 1
+	}, func(a ptg.Args) (ptg.TaskRef, string) {
+		p := b.ps[a[0]]
+		s := p.seg(a[1])
+		flow := "X"
+		if s%2 == 1 {
+			flow = "Y"
+		}
+		return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(a[0], 1, s/2)}, flow
+	})
+	// Single segment: go straight to the SORT stage.
+	b.addSortStageOuts(c, func(a ptg.Args) bool {
+		p := b.ps[a[0]]
+		return p.isSegEnd(a[1]) && p.m == 1
+	})
+	if store := b.opts.Store; store != nil {
+		tc.Body = func(ctx *ptg.Ctx) {
+			at := ctx.In[0].(*tensor.Tile4)
+			bt := ctx.In[1].(*tensor.Tile4)
+			ct := ctx.In[2].(*tensor.Tile4)
+			// dgemm('T', 'N', ...) as in Fig 1.
+			tensor.Gemm(true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, ct.AsMatrix())
+			ctx.Out[2] = ct
+		}
+	}
+}
+
+func (b *builder) buildReduce() {
+	tc := b.g.Class("REDUCE")
+	tc.Domain = func(emit func(ptg.Args)) {
+		for l1, p := range b.ps {
+			for lvl := 1; lvl <= p.top; lvl++ {
+				for i := 0; i < p.width[lvl]; i++ {
+					emit(ptg.A3(l1, lvl, i))
+				}
+			}
+		}
+	}
+	tc.Affinity = func(a ptg.Args) int { return b.chainNode(a[0]) }
+	tc.Priority = b.priority(0)
+	tc.Cost = func(a ptg.Args) ptg.Cost {
+		return ptg.Cost{MemBytes: 3 * b.ps[a[0]].cbytes}
+	}
+	tc.FlowBytes = func(a ptg.Args, flow string) int64 {
+		if flow == "X" {
+			return b.ps[a[0]].cbytes
+		}
+		return 0
+	}
+	childRef := func(a ptg.Args, which int) (ptg.TaskRef, string) {
+		l1, lvl, i := a[0], a[1], a[2]
+		child := 2*i + which
+		if lvl == 1 {
+			p := b.ps[l1]
+			return ptg.TaskRef{Class: "GEMM", Args: ptg.A2(l1, p.segLast(child))}, "C"
+		}
+		return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(l1, lvl-1, child)}, "X"
+	}
+	x := tc.AddFlow("X", ptg.RW)
+	x.In(nil, func(a ptg.Args) (ptg.TaskRef, string) { return childRef(a, 0) })
+	y := tc.AddFlow("Y", ptg.Read)
+	y.In(func(a ptg.Args) bool {
+		p := b.ps[a[0]]
+		return 2*a[2]+1 < p.width[a[1]-1]
+	}, func(a ptg.Args) (ptg.TaskRef, string) { return childRef(a, 1) })
+	// Upward edge: to the parent reduction, or to the SORT stage at top.
+	x.Out(func(a ptg.Args) bool { return a[1] < b.ps[a[0]].top },
+		func(a ptg.Args) (ptg.TaskRef, string) {
+			flow := "X"
+			if a[2]%2 == 1 {
+				flow = "Y"
+			}
+			return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(a[0], a[1]+1, a[2]/2)}, flow
+		})
+	b.addSortStageOuts(x, func(a ptg.Args) bool { return a[1] == b.ps[a[0]].top })
+	if b.opts.Store != nil {
+		tc.Body = func(ctx *ptg.Ctx) {
+			xt := ctx.In[0].(*tensor.Tile4)
+			if ctx.In[1] != nil {
+				xt.AddScaled(ctx.In[1].(*tensor.Tile4), 1)
+			}
+			ctx.Out[0] = xt
+		}
+	}
+}
+
+func (b *builder) buildSort() {
+	tc := b.g.Class("SORT")
+	if b.spec.ParallelSorts {
+		tc.Domain = func(emit func(ptg.Args)) {
+			for l1, p := range b.ps {
+				for i := 0; i < p.nsorts; i++ {
+					emit(ptg.A2(l1, i))
+				}
+			}
+		}
+	} else {
+		tc.Domain = func(emit func(ptg.Args)) {
+			for l1 := range b.ps {
+				emit(ptg.A1(l1))
+			}
+		}
+	}
+	tc.Affinity = func(a ptg.Args) int { return b.chainNode(a[0]) }
+	tc.Priority = b.priority(0)
+	tc.Cost = func(a ptg.Args) ptg.Cost {
+		p := b.ps[a[0]]
+		if b.spec.ParallelSorts {
+			return ptg.Cost{MemBytes: 2 * p.cbytes}
+		}
+		// One task performs every active SORT_4 serially, reusing hot
+		// buffers (Fig 5): more traffic, better locality.
+		return ptg.Cost{MemBytes: 2 * p.cbytes * int64(p.nsorts), Warm: true}
+	}
+	tc.FlowBytes = func(a ptg.Args, flow string) int64 {
+		if flow == "S" {
+			return b.ps[a[0]].cbytes
+		}
+		return 0
+	}
+	tc.AddFlow("C", ptg.Read).In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+		return b.sortSource(a[0])
+	})
+	s := tc.AddFlow("S", ptg.Write)
+	s.InNew(nil, func(a ptg.Args) int64 { return b.ps[a[0]].cbytes })
+	switch {
+	case b.spec.ParallelWrites:
+		s.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "WRITE", Args: a}, "I0"
+		})
+	case b.spec.ParallelSorts:
+		for seg := 0; seg < b.opts.writeSpan(); seg++ {
+			seg := seg
+			s.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "WRITE", Args: ptg.A2(a[0], seg)}, fmt.Sprintf("I%d", a[1])
+			})
+		}
+	default:
+		for seg := 0; seg < b.opts.writeSpan(); seg++ {
+			seg := seg
+			s.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "WRITE", Args: ptg.A2(a[0], seg)}, "I0"
+			})
+		}
+	}
+	if b.opts.Store != nil {
+		if b.spec.ParallelSorts {
+			tc.Body = func(ctx *ptg.Ctx) {
+				p := b.ps[ctx.Args[0]]
+				src := ctx.In[0].(*tensor.Tile4)
+				br := p.meta.Sorts[ctx.Args[1]]
+				d := p.meta.Out.Dims
+				dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
+				tensor.Sort4(dst, src, br.Perm, br.Sign)
+				ctx.Out[1] = dst
+			}
+		} else {
+			tc.Body = func(ctx *ptg.Ctx) {
+				p := b.ps[ctx.Args[0]]
+				src := ctx.In[0].(*tensor.Tile4)
+				d := p.meta.Out.Dims
+				dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
+				tmp := tensor.NewTile4(d[0], d[1], d[2], d[3])
+				for _, br := range p.meta.Sorts {
+					tensor.Sort4(tmp, src, br.Perm, br.Sign)
+					dst.AddScaled(tmp, 1)
+				}
+				ctx.Out[1] = dst
+			}
+		}
+	}
+}
+
+func (b *builder) buildWrite() {
+	tc := b.g.Class("WRITE")
+	span := b.opts.writeSpan()
+	if b.spec.ParallelWrites {
+		tc.Domain = func(emit func(ptg.Args)) {
+			for l1, p := range b.ps {
+				for i := 0; i < p.nsorts; i++ {
+					emit(ptg.A2(l1, i))
+				}
+			}
+		}
+	} else {
+		tc.Domain = func(emit func(ptg.Args)) {
+			for l1 := range b.ps {
+				for seg := 0; seg < span; seg++ {
+					emit(ptg.A2(l1, seg))
+				}
+			}
+		}
+	}
+	// Writes run where the Global Array data lives (Fig 8); with a
+	// spanning block, segment s lives on the s-th node after the base
+	// owner.
+	if b.spec.ParallelWrites {
+		tc.Affinity = func(a ptg.Args) int { return b.ownerNode(b.ps[a[0]].meta.OutNode) }
+	} else {
+		tc.Affinity = func(a ptg.Args) int {
+			return (b.ownerNode(b.ps[a[0]].meta.OutNode) + a[1]) % b.nodes
+		}
+		if span > 1 {
+			// Each instance receives only its slice of the sorted matrix.
+			tc.InBytes = func(a ptg.Args, flow string) int64 {
+				return (b.ps[a[0]].cbytes + int64(span) - 1) / int64(span)
+			}
+		}
+	}
+	tc.Priority = b.priority(0)
+	nIn := 1
+	if !b.spec.ParallelWrites && b.spec.ParallelSorts {
+		nIn = 4
+	}
+	for i := 0; i < nIn; i++ {
+		i := i
+		f := tc.AddFlow(fmt.Sprintf("I%d", i), ptg.Read)
+		switch {
+		case b.spec.ParallelWrites:
+			f.In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "SORT", Args: a}, "S"
+			})
+		case b.spec.ParallelSorts:
+			f.In(func(a ptg.Args) bool { return i < b.ps[a[0]].nsorts },
+				func(a ptg.Args) (ptg.TaskRef, string) {
+					return ptg.TaskRef{Class: "SORT", Args: ptg.A2(a[0], i)}, "S"
+				})
+		default:
+			f.In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "SORT", Args: ptg.A1(a[0])}, "S"
+			})
+		}
+		f.OutData(nil, func(a ptg.Args) ptg.DataRef {
+			out := b.ps[a[0]].meta.Out
+			return ptg.DataRef{ID: out.String(), Node: b.ownerNode(b.ps[a[0]].meta.OutNode), Bytes: out.Bytes()}
+		})
+	}
+	if store := b.opts.Store; store != nil {
+		if !b.spec.ParallelWrites && span > 1 {
+			tc.Body = func(ctx *ptg.Ctx) {
+				p := b.ps[ctx.Args[0]]
+				seg := ctx.Args[1]
+				n := p.meta.Out.Elems()
+				lo, hi := seg*n/span, (seg+1)*n/span
+				for _, in := range ctx.In {
+					if t, ok := in.(*tensor.Tile4); ok {
+						store.AccRange(tce.TensorC, p.meta.Out.Key, t, 1, lo, hi)
+					}
+				}
+			}
+		} else {
+			tc.Body = func(ctx *ptg.Ctx) {
+				key := b.ps[ctx.Args[0]].meta.Out.Key
+				for _, in := range ctx.In {
+					if t, ok := in.(*tensor.Tile4); ok {
+						store.AddHashBlock(tce.TensorC, key, t, 1)
+					}
+				}
+			}
+		}
+	}
+	// WRITE has no Cost function: its simulated execution is supplied by
+	// the executor behavior (mutex + ADD_HASH_BLOCK), see sim.go.
+}

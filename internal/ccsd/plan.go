@@ -1,0 +1,82 @@
+package ccsd
+
+import (
+	"parsec/internal/tce"
+)
+
+// chainPlan precomputes the task-graph shape of one chain: its GEMM
+// segmentation and the reduction tree over segment results (Fig 4). A
+// segment is a run of GEMMs accumulating serially into one private C
+// buffer; the paper considers the two extremes — height 1 (maximum
+// parallelism) and the full chain (maximum locality, v1) — and this plan
+// supports any height for the ablation study.
+type chainPlan struct {
+	meta   *tce.ChainMeta
+	n      int   // GEMMs in the chain
+	h      int   // segment height
+	m      int   // number of segments: ceil(n/h)
+	top    int   // reduction tree height (0 when m == 1)
+	width  []int // tree width per level; width[0] = m
+	nsorts int
+	cbytes int64
+}
+
+func newChainPlan(meta *tce.ChainMeta, height int) *chainPlan {
+	n := len(meta.Gemms)
+	h := height
+	if h <= 0 || h > n {
+		h = n
+	}
+	p := &chainPlan{
+		meta:   meta,
+		n:      n,
+		h:      h,
+		m:      (n + h - 1) / h,
+		nsorts: len(meta.Sorts),
+		cbytes: meta.CBytes(),
+	}
+	p.width = []int{p.m}
+	for w := p.m; w > 1; {
+		w = (w + 1) / 2
+		p.width = append(p.width, w)
+		p.top++
+	}
+	return p
+}
+
+// seg returns the segment index of GEMM position l2.
+func (p *chainPlan) seg(l2 int) int { return l2 / p.h }
+
+// posInSeg returns the position of l2 within its segment.
+func (p *chainPlan) posInSeg(l2 int) int { return l2 % p.h }
+
+// segLast returns the chain position of the last GEMM of segment s.
+func (p *chainPlan) segLast(s int) int {
+	last := (s+1)*p.h - 1
+	if last >= p.n {
+		last = p.n - 1
+	}
+	return last
+}
+
+// isSegEnd reports whether l2 is the last GEMM of its segment.
+func (p *chainPlan) isSegEnd(l2 int) bool { return p.segLast(p.seg(l2)) == l2 }
+
+// plans builds the per-chain plans for a workload under a variant.
+// segHeight <= 0 selects the variant's default: full chain for
+// SerialGemms (v1), height 1 otherwise.
+func plans(w *tce.Workload, spec VariantSpec, segHeight int) []*chainPlan {
+	ps := make([]*chainPlan, len(w.Chains))
+	for i, c := range w.Chains {
+		h := segHeight
+		if h <= 0 {
+			if spec.SerialGemms {
+				h = len(c.Gemms)
+			} else {
+				h = 1
+			}
+		}
+		ps[i] = newChainPlan(c, h)
+	}
+	return ps
+}

@@ -1,0 +1,59 @@
+package ccsd
+
+import (
+	"parsec/internal/ga"
+	"parsec/internal/runtime"
+	"parsec/internal/tce"
+)
+
+// RealResult is the outcome of a shared-memory execution with real data.
+type RealResult struct {
+	Energy float64
+	Report runtime.Report
+}
+
+// RunReal executes one variant of the ported subroutine with real tensor
+// arithmetic on the goroutine runtime and returns the correlation-energy
+// functional of the output. All variants must agree with the serial
+// reference to ~14 digits (§IV-A).
+func RunReal(w *tce.Workload, spec VariantSpec, workers int) (RealResult, error) {
+	return runRealWithOptions(w, spec, workers, 0)
+}
+
+// runRealWithOptions additionally overrides the GEMM segment height
+// (<= 0 keeps the variant default), for the §IV-A locality/parallelism
+// ablation.
+func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight int) (RealResult, error) {
+	store := ga.NewStore(1)
+	aName, bName := w.InputTensors()
+	a := store.Create(aName)
+	bt := store.Create(bName)
+	store.Create(tce.TensorC)
+	for _, ref := range w.UniqueBlocks(aName) {
+		w.FillBlock(ref, a.GetOrCreate(ref.Key, ref.Dims))
+	}
+	for _, ref := range w.UniqueBlocks(bName) {
+		w.FillBlock(ref, bt.GetOrCreate(ref.Key, ref.Dims))
+	}
+
+	g := BuildGraph(w, spec, Options{Nodes: 1, Store: store, SegmentHeight: segHeight})
+	policy := runtime.PriorityOrder
+	if !spec.UsePriorities {
+		policy = runtime.LIFOOrder
+	}
+	rep, err := runtime.Run(g, runtime.Config{Workers: workers, Policy: policy})
+	if err != nil {
+		return RealResult{}, err
+	}
+	return RealResult{
+		Energy: w.Energy(store.Array(tce.TensorC)),
+		Report: rep,
+	}, nil
+}
+
+// ReferenceEnergy computes the ground-truth energy with the serial
+// reference executor.
+func ReferenceEnergy(w *tce.Workload) float64 {
+	a, b := w.Materialize()
+	return w.Energy(w.RunReference(a, b))
+}

@@ -1,0 +1,133 @@
+package ccsd
+
+import (
+	"fmt"
+
+	"parsec/internal/cgp"
+	"parsec/internal/cluster"
+	"parsec/internal/ga"
+	"parsec/internal/molecule"
+	"parsec/internal/sim"
+	"parsec/internal/simexec"
+	"parsec/internal/tce"
+	"parsec/internal/trace"
+)
+
+// SimBehaviors returns the executor behaviors that go beyond a plain cost
+// charge. Only WRITE needs one: it is the critical section of §IV-A —
+// lock the node-wide mutex, apply Corig += Csorted through
+// ADD_HASH_BLOCK, unlock. The three write organizations differ exactly as
+// the paper describes:
+//
+//   - parallel writes (v1, v3): each WRITE_C_i locks and accumulates one
+//     sorted matrix — more lock/unlock system calls, more GA traffic;
+//   - single write, parallel sorts (v2, v4): one WRITE_C merges its up to
+//     four inputs locally, then performs a single accumulate under one
+//     lock — a longer critical region;
+//   - single write, single sort (v5): one input, one accumulate, with the
+//     sorted matrix still hot in cache.
+func SimBehaviors(w *tce.Workload, spec VariantSpec, ps []*chainPlan) map[string]simexec.Behavior {
+	return simBehaviorsSpan(w, spec, ps, 1)
+}
+
+// simBehaviorsSpan is SimBehaviors with the Fig 8 write span: each WRITE
+// instance accumulates only its 1/span slice.
+func simBehaviorsSpan(w *tce.Workload, spec VariantSpec, ps []*chainPlan, span int) map[string]simexec.Behavior {
+	if span < 1 {
+		span = 1
+	}
+	return map[string]simexec.Behavior{
+		"WRITE": func(ctx *simexec.TaskCtx) {
+			p := ps[ctx.Inst.Ref.Args[0]]
+			inputs := ctx.ActiveInputs()
+			node := ctx.M.Nodes[ctx.Node]
+			node.WriteMutex.Lock(ctx.P)
+			sliceBytes := (p.cbytes + int64(span) - 1) / int64(span)
+			if len(inputs) > 1 {
+				// Merge the sorted matrices locally before the single
+				// accumulate (Fig 6).
+				ctx.M.MemOp(ctx.P, ctx.Node, int64(len(inputs)-1)*2*sliceBytes, true)
+			}
+			out := p.meta.Out
+			ctx.GA.AddHashBlock(ctx.P, ctx.Node, ctx.Node,
+				(out.Bytes()+int64(span)-1)/int64(span), out.Dims[0]*out.Dims[1]/span+1)
+			node.WriteMutex.Unlock(ctx.P)
+		},
+	}
+}
+
+// SimRunConfig configures one simulated execution of a variant.
+type SimRunConfig struct {
+	CoresPerNode int
+	Trace        *trace.Trace
+	Horizon      sim.Time
+	// SegmentHeight overrides the GEMM segment height (ablation).
+	SegmentHeight int
+	// Kernel selects the TCE kernel: "t2_7" (default) or "t1_2".
+	Kernel string
+	// Queues selects the intra-node scheduling structure (ablation of the
+	// §IV-D work-stealing choice).
+	Queues simexec.QueueMode
+	// WriteSpan > 1 splits output blocks across adjacent nodes (Fig 8).
+	WriteSpan int
+}
+
+// RunSim executes one variant on a fresh simulated machine built from the
+// cluster configuration, returning the simexec result. The workload must
+// have been inspected; block owners are derived from the machine's GA
+// distribution regardless of how the workload was located, so callers can
+// reuse one inspection across machine sizes.
+func RunSim(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc SimRunConfig) (simexec.Result, error) {
+	if rc.CoresPerNode <= 0 {
+		return simexec.Result{}, fmt.Errorf("ccsd: CoresPerNode = %d", rc.CoresPerNode)
+	}
+	eng := sim.NewEngine()
+	m := cluster.New(eng, mcfg)
+	gs := ga.NewSim(m)
+	k, err := tce.KernelByName(rc.Kernel, sys)
+	if err != nil {
+		return simexec.Result{}, err
+	}
+	w := tce.Inspect(k, func(ref tce.BlockRef) int {
+		return gs.Distribution().Owner(ref.Tensor, ref.Key)
+	})
+	ps := plans(w, spec, rc.SegmentHeight)
+	g := BuildGraph(w, spec, Options{Nodes: mcfg.Nodes, SegmentHeight: rc.SegmentHeight, WriteSpan: rc.WriteSpan})
+	policy := simexec.PriorityOrder
+	if !spec.UsePriorities {
+		policy = simexec.LIFOOrder
+	}
+	return simexec.Run(g, m, gs, simexec.Config{
+		CoresPerNode: rc.CoresPerNode,
+		Policy:       policy,
+		Queues:       rc.Queues,
+		Behaviors:    simBehaviorsSpan(w, spec, ps, rc.WriteSpan),
+		Trace:        rc.Trace,
+		Horizon:      rc.Horizon,
+	})
+}
+
+// RunSimBaseline executes the original CGP code path on a fresh simulated
+// machine for the same system, for side-by-side Fig 9 comparisons.
+func RunSimBaseline(sys *molecule.System, mcfg cluster.Config, ranksPerNode int, tr *trace.Trace) (sim.Time, error) {
+	return RunSimBaselineKernel(sys, "t2_7", mcfg, ranksPerNode, tr)
+}
+
+// RunSimBaselineKernel is RunSimBaseline with an explicit kernel choice.
+func RunSimBaselineKernel(sys *molecule.System, kernel string, mcfg cluster.Config, ranksPerNode int, tr *trace.Trace) (sim.Time, error) {
+	eng := sim.NewEngine()
+	m := cluster.New(eng, mcfg)
+	gs := ga.NewSim(m)
+	k, err := tce.KernelByName(kernel, sys)
+	if err != nil {
+		return 0, err
+	}
+	w := tce.Inspect(k, func(ref tce.BlockRef) int {
+		return gs.Distribution().Owner(ref.Tensor, ref.Key)
+	})
+	res, err := cgp.Run(w, m, gs, cgp.Config{RanksPerNode: ranksPerNode, Trace: tr})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

@@ -1,0 +1,75 @@
+// Package ccsd is the PaRSEC port of NWChem's icsd_t2_7 CCSD subroutine
+// (§III-B, §IV): it turns the inspected TCE workload into Parameterized
+// Task Graphs implementing the paper's five algorithmic variants, and
+// drives their execution on the real shared-memory runtime (with actual
+// tensor arithmetic) and on the simulated cluster (for the Fig 9 and
+// Fig 10-13 experiments).
+package ccsd
+
+import "fmt"
+
+// VariantSpec selects one of the algorithmic variants of §IV-A / §V.
+type VariantSpec struct {
+	Name string
+	// SerialGemms organizes each chain's GEMMs as one serial chain
+	// sharing the C buffer (v1); otherwise GEMMs execute in parallel
+	// into private buffers followed by a reduction tree (Fig 4).
+	SerialGemms bool
+	// ParallelSorts runs the active SORT_4 branches as independent
+	// SORT_i tasks (Fig 6/7); otherwise one SORT task performs them
+	// serially, accumulating into a single Csorted (Fig 5).
+	ParallelSorts bool
+	// ParallelWrites pairs each SORT_i with its own WRITE_C_i task
+	// (Fig 7); otherwise a single WRITE_C task receives every sorted
+	// matrix (Fig 5/6).
+	ParallelWrites bool
+	// UsePriorities assigns the §IV-C priority expressions (decreasing
+	// with chain number; read offset +5·P, GEMM offset +1·P); without
+	// them the scheduler runs most-recently-ready-first (v2, Fig 11).
+	UsePriorities bool
+	// Description is the paper's one-line characterization (§V).
+	Description string
+}
+
+func (v VariantSpec) String() string { return fmt.Sprintf("%s: %s", v.Name, v.Description) }
+
+// Variants returns the five variants evaluated in §V, in paper order.
+func Variants() []VariantSpec {
+	return []VariantSpec{
+		{
+			Name:        "v1",
+			SerialGemms: true, ParallelSorts: true, ParallelWrites: true, UsePriorities: true,
+			Description: "GEMMs in a serial chain, SORTs and WRITEs parallel, priorities",
+		},
+		{
+			Name:        "v2",
+			SerialGemms: false, ParallelSorts: true, ParallelWrites: false, UsePriorities: false,
+			Description: "GEMMs and SORTs parallel, one WRITE, no priorities",
+		},
+		{
+			Name:        "v3",
+			SerialGemms: false, ParallelSorts: true, ParallelWrites: true, UsePriorities: true,
+			Description: "GEMMs, SORTs and WRITEs all parallel, priorities",
+		},
+		{
+			Name:        "v4",
+			SerialGemms: false, ParallelSorts: true, ParallelWrites: false, UsePriorities: true,
+			Description: "GEMMs and SORTs parallel, one WRITE, priorities",
+		},
+		{
+			Name:        "v5",
+			SerialGemms: false, ParallelSorts: false, ParallelWrites: false, UsePriorities: true,
+			Description: "GEMMs parallel, one SORT and one WRITE, priorities",
+		},
+	}
+}
+
+// VariantByName returns the named variant.
+func VariantByName(name string) (VariantSpec, error) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return VariantSpec{}, fmt.Errorf("ccsd: unknown variant %q (want v1..v5)", name)
+}

@@ -1,0 +1,137 @@
+package cgp
+
+import (
+	"testing"
+
+	"parsec/internal/cluster"
+	"parsec/internal/ga"
+	"parsec/internal/molecule"
+	"parsec/internal/sim"
+	"parsec/internal/tce"
+	"parsec/internal/trace"
+)
+
+func testSetup(nodes, cores int) (*tce.Workload, *cluster.Machine, *ga.Sim) {
+	cfg := cluster.CascadeLike()
+	cfg.Nodes = nodes
+	cfg.CoresPerNode = cores
+	cfg.JitterFrac = 0
+	e := sim.NewEngine()
+	m := cluster.New(e, cfg)
+	gs := ga.NewSim(m)
+	k := tce.T2_7(molecule.Water631G())
+	w := tce.Inspect(k, func(b tce.BlockRef) int {
+		return gs.Distribution().Owner(b.Tensor, b.Key)
+	})
+	return w, m, gs
+}
+
+func TestRunExecutesAllChains(t *testing.T) {
+	w, m, gs := testSetup(2, 2)
+	res, err := Run(w, m, gs, Config{RanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chains != w.NumChains() {
+		t.Errorf("chains = %d, want %d", res.Chains, w.NumChains())
+	}
+	executed := 0
+	for _, n := range res.ChainsByRank {
+		executed += n
+	}
+	if executed != w.NumChains() {
+		t.Errorf("executed %d chains, want %d", executed, w.NumChains())
+	}
+	if res.Gets != 2*int64(w.Stats().Gemms) {
+		t.Errorf("gets = %d, want %d", res.Gets, 2*w.Stats().Gemms)
+	}
+	if res.Adds != int64(w.Stats().Sorts) {
+		t.Errorf("adds = %d, want %d", res.Adds, w.Stats().Sorts)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestTraceShowsNoOverlapPattern(t *testing.T) {
+	w, m, gs := testSetup(2, 1)
+	tr := trace.New()
+	if _, err := Run(w, m, gs, Config{RanksPerNode: 1, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The defining property of the original code: communication (GETs)
+	// happens on the worker thread, so comm and compute on a rank never
+	// overlap. With 1 rank per node, per-node overlap must be zero.
+	comm := map[string]bool{"READA": true, "READB": true, "WRITE": true}
+	commTime, overlapped := tr.OverlapStats(comm)
+	if commTime == 0 {
+		t.Fatal("no communication recorded")
+	}
+	if overlapped != 0 {
+		t.Errorf("overlap = %d ns on single-rank nodes, want 0", overlapped)
+	}
+}
+
+func TestMoreRanksFasterUntilSaturation(t *testing.T) {
+	run := func(ranks int) sim.Time {
+		w, m, gs := testSetup(2, ranks)
+		res, err := Run(w, m, gs, Config{RanksPerNode: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	t1, t2 := run(1), run(2)
+	if t2 >= t1 {
+		t.Errorf("2 ranks (%v) not faster than 1 (%v)", t2, t1)
+	}
+}
+
+func TestLevelsAddSynchronization(t *testing.T) {
+	w, m, gs := testSetup(2, 2)
+	res1, err := Run(w, m, gs, Config{RanksPerNode: 2, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, m2, gs2 := testSetup(2, 2)
+	res7, err := Run(w2, m2, gs2, Config{RanksPerNode: 2, Levels: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res7.Makespan < res1.Makespan {
+		t.Errorf("7 levels (%v) faster than 1 level (%v)", res7.Makespan, res1.Makespan)
+	}
+	// All chains still execute.
+	total := 0
+	for _, n := range res7.ChainsByRank {
+		total += n
+	}
+	if total != w2.NumChains() {
+		t.Errorf("levels dropped chains: %d of %d", total, w2.NumChains())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		w, m, gs := testSetup(3, 2)
+		res, err := Run(w, m, gs, Config{RanksPerNode: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	w, m, gs := testSetup(1, 1)
+	if _, err := Run(w, m, gs, Config{}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"parsec/internal/sim"
+)
+
+func cfgNoJitter() Config {
+	c := Small()
+	c.JitterFrac = 0
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	good := CascadeLike()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("CascadeLike invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CoresPerNode = -1 },
+		func(c *Config) { c.CoreGFlops = 0 },
+		func(c *Config) { c.MemBWBytes = 0 },
+		func(c *Config) { c.NICBWBytes = -1 },
+		func(c *Config) { c.GAServiceBW = 0 },
+		func(c *Config) { c.GAStrideLatency = -1 },
+		func(c *Config) { c.GemmContention = -1 },
+		func(c *Config) { c.GemmContention = 1.5 },
+		func(c *Config) { c.CacheWarm = 0 },
+		func(c *Config) { c.CacheWarm = 1.5 },
+	}
+	for i, mutate := range bad {
+		c := CascadeLike()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.CoreGFlops = 10
+	m := New(e, c)
+	// 10 GFlop at 10 GFlop/s = 1 s.
+	if got := m.ComputeTime(10e9); got != sim.Second {
+		t.Errorf("ComputeTime = %v, want 1s", got)
+	}
+}
+
+func TestComputeOccupiesWorker(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.CoreGFlops = 1
+	c.MemBWBytes = 1e9
+	m := New(e, c)
+	var end sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		m.Compute(p, 0, 1e9, 1e9, false) // 1s compute + 1s memory
+		end = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if end < 1990*sim.Millisecond || end > 2010*sim.Millisecond {
+		t.Errorf("end = %v, want ~2s", end)
+	}
+}
+
+func TestMemOpWarmDiscount(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.MemBWBytes = 1e9
+	c.CacheWarm = 0.25
+	m := New(e, c)
+	var cold, warm sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		m.MemOp(p, 0, 1e9, false)
+		cold = p.Now() - t0
+		t0 = p.Now()
+		m.MemOp(p, 0, 1e9, true)
+		warm = p.Now() - t0
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if cold < 990*sim.Millisecond || cold > 1010*sim.Millisecond {
+		t.Errorf("cold = %v, want ~1s", cold)
+	}
+	ratio := warm.Seconds() / cold.Seconds()
+	if ratio < 0.24 || ratio > 0.26 {
+		t.Errorf("warm/cold = %v, want ~0.25", ratio)
+	}
+}
+
+func TestTransferRemoteUsesNICAndLatency(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.NICBWBytes = 1e9
+	c.NetLatency = sim.Millisecond
+	m := New(e, c)
+	var plain sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		m.Transfer(p, 0, 1, 1e6) // 1ms latency + 1ms wire
+		plain = p.Now() - t0
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if plain < 1990*sim.Microsecond || plain > 2010*sim.Microsecond {
+		t.Errorf("plain transfer = %v, want ~2ms", plain)
+	}
+}
+
+func TestGARemoteAccess(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.NICBWBytes = 1e9
+	c.NetLatency = 0
+	c.GAStrideLatency = 10 * sim.Microsecond
+	c.GAServiceBW = 0.5e9
+	m := New(e, c)
+	var el sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		// 100 rows x 10us = 1ms stride overhead, 1MB/0.5GB/s = 2ms
+		// service, 1MB/1GB/s = 1ms wire -> 4ms total.
+		m.GARemoteAccess(p, 0, 1, 1e6, 100)
+		el = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if el < 3990*sim.Microsecond || el > 4010*sim.Microsecond {
+		t.Errorf("GA remote access = %v, want ~4ms", el)
+	}
+}
+
+func TestGemmContention(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.CoreGFlops = 10
+	c.GemmContention = 0.5
+	c.GemmMemTraffic = 0
+	m := New(e, c)
+	var ends [4]sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			m.Gemm(p, 0, 10e9, 0) // 1s at full core rate
+			ends[i] = p.Now()
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 4 concurrent GEMMs: each runs at 10/(1+0.5*3) = 4 GFlop/s while all
+	// four are active -> all finish together at ~2.5s.
+	for i, end := range ends {
+		if end < 2480*sim.Millisecond || end > 2520*sim.Millisecond {
+			t.Errorf("gemm %d ended at %v, want ~2.5s", i, end)
+		}
+	}
+}
+
+func TestGemmSingleFlowAtCoreRate(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.CoreGFlops = 10
+	c.GemmContention = 0.5
+	c.GemmMemTraffic = 0
+	m := New(e, c)
+	var end sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		m.Gemm(p, 0, 10e9, 0)
+		end = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// One flow is capped at the core rate, not the node capacity.
+	if end < 990*sim.Millisecond || end > 1010*sim.Millisecond {
+		t.Errorf("single gemm = %v, want ~1s (core-rate bound)", end)
+	}
+}
+
+func TestTransferLocalUsesMemBW(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.MemBWBytes = 1e9
+	c.NetLatency = sim.Second // would be obvious if charged
+	m := New(e, c)
+	var el sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		m.Transfer(p, 2, 2, 1e6)
+		el = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if el < 990*sim.Microsecond || el > 1010*sim.Microsecond {
+		t.Errorf("local transfer = %v, want ~1ms (no net latency)", el)
+	}
+}
+
+func TestNICContention(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.NICBWBytes = 1e9
+	c.NetLatency = 0
+	m := New(e, c)
+	var latest sim.Time
+	const n = 4
+	for i := 0; i < n; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			m.Transfer(p, 0, 1, 1e6)
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Duration(n * 1e6 / 1e9)
+	if latest < want-10*sim.Microsecond || latest > want+10*sim.Microsecond {
+		t.Errorf("contended makespan = %v, want ~%v", latest, want)
+	}
+}
+
+func TestZeroByteOpsFree(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, cfgNoJitter())
+	e.Go("w", func(p *sim.Proc) {
+		m.MemOp(p, 0, 0, false)
+		m.Transfer(p, 0, 1, 0)
+		m.Compute(p, 0, 0, 0, false)
+		if p.Now() != 0 {
+			t.Errorf("zero-cost ops advanced time to %v", p.Now())
+		}
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalCores(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.Nodes, c.CoresPerNode = 8, 3
+	if got := New(e, c).TotalCores(); got != 24 {
+		t.Errorf("TotalCores = %d, want 24", got)
+	}
+}
+
+func TestDeterminismWithJitter(t *testing.T) {
+	run := func() sim.Time {
+		e := sim.NewEngine()
+		c := Small()
+		c.JitterFrac = 0.1
+		m := New(e, c)
+		for i := 0; i < 8; i++ {
+			node := i % c.Nodes
+			e.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+				m.Compute(p, node, 1e8, 1e6, false)
+				m.Transfer(p, node, (node+1)%c.Nodes, 1e5)
+			})
+		}
+		end, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic end time: %v vs %v", first, got)
+		}
+	}
+}
+
+func TestGALocalAccess(t *testing.T) {
+	e := sim.NewEngine()
+	c := cfgNoJitter()
+	c.GAServiceBW = 0.5e9
+	m := New(e, c)
+	var el sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		m.GALocalAccess(p, 0, 1e6) // 1MB at 0.5 GB/s = 2ms
+		m.GALocalAccess(p, 0, 0)   // free
+		el = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if el < 1990*sim.Microsecond || el > 2010*sim.Microsecond {
+		t.Errorf("local GA access = %v, want ~2ms", el)
+	}
+}
+
+func TestGemmZeroFlopsFree(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, cfgNoJitter())
+	e.Go("w", func(p *sim.Proc) {
+		m.Gemm(p, 0, 0, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero gemm advanced time")
+		}
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package dtd implements a Dynamic Task Discovery frontend: the
+// programming model the paper's related work section (§VI) contrasts with
+// the PTG. A skeleton program inserts tasks one by one, declaring how each
+// accesses named data; the engine discovers dependencies by matching those
+// accesses (last-writer and anti-dependencies) and materializes the whole
+// DAG in memory before and during execution.
+//
+// This is the model of StarPU, QUARK, OmpSs and OpenMP tasks. It exists
+// here for the comparison the paper draws: "they largely rely on some form
+// of Dynamic Task Discovery, or in other words building the entire DAG of
+// execution in memory using skeleton programs", whereas the PTG's
+// inspector "does not build a DAG in memory and does not need to discover
+// the way tasks depend on one another by matching input and output data"
+// (§VI). The benchmark BenchmarkPTGvsDTD quantifies the difference.
+package dtd
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mode is how a task accesses one datum.
+type Mode int
+
+const (
+	ModeRead Mode = iota
+	ModeWrite
+	ModeRW
+)
+
+func (m Mode) String() string {
+	return [...]string{"R", "W", "RW"}[m]
+}
+
+// Access declares one data access of an inserted task.
+type Access struct {
+	Key  string
+	Mode Mode
+}
+
+// Read declares a read access.
+func Read(key string) Access { return Access{Key: key, Mode: ModeRead} }
+
+// Write declares a write access (previous value not needed).
+func Write(key string) Access { return Access{Key: key, Mode: ModeWrite} }
+
+// ReadWrite declares an update access.
+func ReadWrite(key string) Access { return Access{Key: key, Mode: ModeRW} }
+
+// Ctx is passed to task bodies: Data maps each declared key to its
+// current value; bodies replace values for written keys via Set.
+type Ctx struct {
+	ID   int
+	Name string
+	eng  *Engine
+	keys []Access
+}
+
+// Get returns the current value of a declared datum.
+func (c *Ctx) Get(key string) any {
+	c.mustDeclare(key)
+	c.eng.mu.Lock()
+	defer c.eng.mu.Unlock()
+	return c.eng.values[key]
+}
+
+// Set stores a new value for a declared written datum.
+func (c *Ctx) Set(key string, v any) {
+	for _, a := range c.keys {
+		if a.Key == key {
+			if a.Mode == ModeRead {
+				panic(fmt.Sprintf("dtd: task %s writes %q declared read-only", c.Name, key))
+			}
+			c.eng.mu.Lock()
+			c.eng.values[key] = v
+			c.eng.mu.Unlock()
+			return
+		}
+	}
+	panic(fmt.Sprintf("dtd: task %s touches undeclared datum %q", c.Name, key))
+}
+
+func (c *Ctx) mustDeclare(key string) {
+	for _, a := range c.keys {
+		if a.Key == key {
+			return
+		}
+	}
+	panic(fmt.Sprintf("dtd: task %s touches undeclared datum %q", c.Name, key))
+}
+
+// task is one DAG node, materialized in memory (the defining property of
+// the model).
+type task struct {
+	id       int
+	name     string
+	body     func(*Ctx)
+	priority int64
+	accesses []Access
+
+	succs   []*task
+	pending int
+	done    bool
+}
+
+// lastAccess tracks the dependency frontier of one datum.
+type lastAccess struct {
+	writer  *task
+	readers []*task
+}
+
+// Engine is a DTD engine: insert tasks, then Run.
+type Engine struct {
+	mu       sync.Mutex
+	tasks    []*task
+	frontier map[string]*lastAccess
+	values   map[string]any
+	edges    int
+	sealed   bool
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		frontier: make(map[string]*lastAccess),
+		values:   make(map[string]any),
+	}
+}
+
+// Put seeds an initial value for a datum before any task touches it.
+func (e *Engine) Put(key string, v any) { e.values[key] = v }
+
+// Value returns the final value of a datum after Run.
+func (e *Engine) Value(key string) any { return e.values[key] }
+
+// NumTasks returns the number of inserted tasks.
+func (e *Engine) NumTasks() int { return len(e.tasks) }
+
+// NumEdges returns the number of discovered dependency edges — the memory
+// the DTD model pays that the PTG avoids.
+func (e *Engine) NumEdges() int { return e.edges }
+
+// Insert adds a task with the given accesses. Dependencies on previously
+// inserted tasks are discovered immediately by access matching:
+//
+//   - a reader depends on the datum's last writer;
+//   - a writer depends on the last writer and on every reader inserted
+//     since (anti-dependencies), serializing conflicting updates.
+//
+// Insertion order is the program order of the skeleton.
+func (e *Engine) Insert(name string, priority int64, body func(*Ctx), accesses ...Access) int {
+	if e.sealed {
+		panic("dtd: Insert after Run")
+	}
+	t := &task{
+		id:       len(e.tasks),
+		name:     name,
+		body:     body,
+		priority: priority,
+		accesses: accesses,
+	}
+	addDep := func(from *task) {
+		if from == nil || from == t {
+			return
+		}
+		from.succs = append(from.succs, t)
+		t.pending++
+		e.edges++
+	}
+	for _, a := range accesses {
+		la := e.frontier[a.Key]
+		if la == nil {
+			la = &lastAccess{}
+			e.frontier[a.Key] = la
+		}
+		switch a.Mode {
+		case ModeRead:
+			addDep(la.writer)
+			la.readers = append(la.readers, t)
+		case ModeWrite, ModeRW:
+			if a.Mode == ModeRW {
+				addDep(la.writer)
+			}
+			for _, r := range la.readers {
+				addDep(r)
+			}
+			if a.Mode == ModeWrite && len(la.readers) == 0 {
+				addDep(la.writer)
+			}
+			la.writer = t
+			la.readers = nil
+		}
+	}
+	e.tasks = append(e.tasks, t)
+	return t.id
+}
+
+// taskHeap orders ready tasks by descending priority, then insertion.
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].id < h[j].id
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the DAG on the given number of workers (0 = GOMAXPROCS).
+// The engine may not be reused afterwards.
+func (e *Engine) Run(workers int) error {
+	if e.sealed {
+		return fmt.Errorf("dtd: Run called twice")
+	}
+	e.sealed = true
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     taskHeap
+		remaining = len(e.tasks)
+		inflight  int
+		idle      int
+		failed    error
+		stop      bool
+	)
+	for _, t := range e.tasks {
+		if t.pending == 0 {
+			heap.Push(&ready, t)
+		}
+	}
+	fail := func(err error) {
+		if failed == nil {
+			failed = err
+		}
+		stop = true
+		cond.Broadcast()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && !stop {
+					if remaining == 0 {
+						stop = true
+						cond.Broadcast()
+						break
+					}
+					idle++
+					if idle == workers && inflight == 0 && remaining > 0 {
+						fail(fmt.Errorf("dtd: deadlock with %d tasks remaining", remaining))
+						idle--
+						break
+					}
+					cond.Wait()
+					idle--
+				}
+				if stop && len(ready) == 0 {
+					mu.Unlock()
+					return
+				}
+				t := heap.Pop(&ready).(*task)
+				inflight++
+				mu.Unlock()
+
+				err := runBody(e, t)
+
+				mu.Lock()
+				inflight--
+				if err != nil {
+					fail(err)
+					mu.Unlock()
+					return
+				}
+				t.done = true
+				remaining--
+				for _, s := range t.succs {
+					s.pending--
+					if s.pending == 0 {
+						heap.Push(&ready, s)
+						cond.Signal()
+					}
+				}
+				if remaining == 0 {
+					stop = true
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return failed
+}
+
+func runBody(e *Engine, t *task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dtd: task %s panicked: %v", t.name, r)
+		}
+	}()
+	if t.body != nil {
+		t.body(&Ctx{ID: t.id, Name: t.name, eng: e, keys: t.accesses})
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package ga is a Global Arrays substrate: the "shared-memory
+// programming interface for distributed-memory computers" (§II-A) that
+// NWChem's TCE-generated code is written against. It provides the calls
+// the paper names — GET_HASH_BLOCK, ADD_HASH_BLOCK, the NXTVAL shared
+// counter, and the distribution queries (ga_distribution / ga_access)
+// that the PaRSEC inspection phase uses to locate data (§IV-B).
+//
+// Two implementations share the Distribution placement logic:
+//
+//   - Store: a real in-memory array store for shared-memory execution
+//     (unit tests, the goroutine runtime, the examples).
+//   - Sim: cost-model operations against the simulated cluster, used by
+//     the CGP baseline and PaRSEC executors in the Fig 9 experiments.
+package ga
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"parsec/internal/cluster"
+	"parsec/internal/sim"
+	"parsec/internal/tensor"
+)
+
+// Distribution maps blocks of named tensors onto nodes. Blocks are
+// distributed by a deterministic hash, approximating GA's blocked
+// distribution of the TCE hash arrays: placement is balanced and fixed
+// before execution, and every rank can compute any block's owner locally.
+type Distribution struct{ Nodes int }
+
+// Owner returns the node owning the given block of the named tensor.
+func (d Distribution) Owner(tensorName string, key tensor.BlockKey) int {
+	if d.Nodes <= 0 {
+		panic("ga: Distribution with no nodes")
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(tensorName) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	for _, k := range key {
+		h = (h ^ uint64(uint32(k))) * 1099511628211
+	}
+	return int(h % uint64(d.Nodes))
+}
+
+// Store is the real, shared-memory Global Arrays implementation: named
+// block tensors plus a shared counter. All methods are safe for
+// concurrent use.
+type Store struct {
+	dist    Distribution
+	tensors map[string]*tensor.BlockTensor4
+	counter atomic.Int64
+	rangeMu sync.Mutex // serializes AccRange segment updates
+}
+
+// NewStore returns a store distributed (logically) over the given number
+// of nodes. The node count only affects Owner queries; data lives in one
+// address space.
+func NewStore(nodes int) *Store {
+	return &Store{dist: Distribution{Nodes: nodes}, tensors: make(map[string]*tensor.BlockTensor4)}
+}
+
+// Distribution returns the store's placement function.
+func (s *Store) Distribution() Distribution { return s.dist }
+
+// Create registers an empty named array. Creating an existing name panics.
+func (s *Store) Create(name string) *tensor.BlockTensor4 {
+	if _, dup := s.tensors[name]; dup {
+		panic(fmt.Sprintf("ga: array %q already exists", name))
+	}
+	bt := tensor.NewBlockTensor4()
+	s.tensors[name] = bt
+	return bt
+}
+
+// Array returns the named array, panicking if absent. Intended for
+// result extraction after execution; concurrent mutation must go through
+// GetHashBlock / AddHashBlock.
+func (s *Store) Array(name string) *tensor.BlockTensor4 {
+	bt, ok := s.tensors[name]
+	if !ok {
+		panic(fmt.Sprintf("ga: no array %q", name))
+	}
+	return bt
+}
+
+// GetHashBlock fetches a copy of a block, like GET_HASH_BLOCK copying
+// from the distributed array into a local buffer.
+func (s *Store) GetHashBlock(name string, key tensor.BlockKey) *tensor.Tile4 {
+	return s.Array(name).MustTile(key).Clone()
+}
+
+// Access returns a direct reference to a block's storage without
+// copying — ga_access, which the PaRSEC port uses for its zero-copy
+// reads at the owning node (§IV-B). Callers must not mutate the tile.
+func (s *Store) Access(name string, key tensor.BlockKey) *tensor.Tile4 {
+	return s.Array(name).MustTile(key)
+}
+
+// AddHashBlock atomically accumulates scale*src into a block, creating it
+// zeroed if absent — ADD_HASH_BLOCK's Corig += Csorted.
+func (s *Store) AddHashBlock(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64) {
+	s.Array(name).Acc(key, src, scale)
+}
+
+// AccRange atomically accumulates scale*src[lo:hi] into the element range
+// [lo, hi) of a block: the per-segment update a WRITE_C instance performs
+// when the block spans several nodes (Fig 8) and each instance owns one
+// contiguous slice.
+func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, lo, hi int) {
+	if lo < 0 || hi > src.Len() || lo > hi {
+		panic(fmt.Sprintf("ga: AccRange [%d,%d) of %d elements", lo, hi, src.Len()))
+	}
+	bt := s.Array(name)
+	dst := bt.GetOrCreate(key, src.Dim)
+	s.rangeMu.Lock()
+	for i := lo; i < hi; i++ {
+		dst.Data[i] += scale * src.Data[i]
+	}
+	s.rangeMu.Unlock()
+}
+
+// NxtVal atomically fetches-and-increments the shared work-stealing
+// counter (§IV-D) and returns the pre-increment value.
+func (s *Store) NxtVal() int64 { return s.counter.Add(1) - 1 }
+
+// ResetCounter rewinds the shared counter (between work levels).
+func (s *Store) ResetCounter() { s.counter.Store(0) }
+
+// Sim is the cost-model Global Arrays implementation for the simulated
+// cluster. It carries no data: callers account for block sizes and the
+// simulated machine charges transfer and contention costs.
+type Sim struct {
+	dist    Distribution
+	mach    *cluster.Machine
+	counter *sim.Counter
+
+	gets, accs atomic.Int64
+}
+
+// NewSim returns a simulated GA over the machine. The NXTVAL counter is
+// served by a single FIFO server with the configured atomic round-trip
+// time, which is exactly the scalability hazard §IV-D describes.
+func NewSim(m *cluster.Machine) *Sim {
+	return &Sim{
+		dist:    Distribution{Nodes: m.Cfg.Nodes},
+		mach:    m,
+		counter: sim.NewCounter(m.Eng, m.Cfg.AtomicRTT),
+	}
+}
+
+// Distribution returns the placement function (ga_distribution).
+func (g *Sim) Distribution() Distribution { return g.dist }
+
+// GetHashBlock blocks the calling process for the time to fetch a block
+// owned by owner into reqNode's memory through the strided GA one-sided
+// path: per-row message overhead, the owner's service engine, and the
+// wire. rows is the number of contiguous runs in the block (its matrix
+// row count). Local accesses cost a pass through node memory bandwidth.
+func (g *Sim) GetHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows int) {
+	g.gets.Add(1)
+	if reqNode == owner {
+		g.mach.MemOp(p, reqNode, 2*bytes, false)
+		return
+	}
+	g.mach.GARemoteAccess(p, reqNode, owner, bytes, rows)
+}
+
+// AddHashBlock blocks the calling process for the time to accumulate a
+// block into owner's memory from reqNode (read-modify-write through the
+// same one-sided path).
+func (g *Sim) AddHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows int) {
+	g.accs.Add(1)
+	if reqNode == owner {
+		// Even a local accumulate goes through the GA library's locked
+		// strided update path, serviced by the node's one-sided engine.
+		g.mach.GALocalAccess(p, owner, bytes)
+		return
+	}
+	g.mach.GARemoteAccess(p, reqNode, owner, bytes, rows)
+}
+
+// NxtVal performs one remote atomic fetch-and-increment, serialized
+// through the global counter server.
+func (g *Sim) NxtVal(p *sim.Proc) int64 { return g.counter.Next(p) }
+
+// ResetNxtVal rewinds the shared counter. The TCE code does this between
+// work levels, after the inter-level synchronization (§III-A); callers
+// must ensure no process is mid-NxtVal (e.g. behind a barrier).
+func (g *Sim) ResetNxtVal() { g.counter = sim.NewCounter(g.mach.Eng, g.mach.Cfg.AtomicRTT) }
+
+// Stats returns the number of Get and Acc operations performed.
+func (g *Sim) Stats() (gets, accs int64) { return g.gets.Load(), g.accs.Load() }

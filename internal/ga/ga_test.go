@@ -1,0 +1,394 @@
+package ga
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parsec/internal/cluster"
+	"parsec/internal/sim"
+	"parsec/internal/tensor"
+)
+
+func TestDistributionDeterministicAndInRange(t *testing.T) {
+	d := Distribution{Nodes: 7}
+	seen := map[int]int{}
+	for i := 0; i < 500; i++ {
+		key := tensor.BlockKey{i % 9, i % 5, i % 3, i}
+		o1 := d.Owner("t2", key)
+		o2 := d.Owner("t2", key)
+		if o1 != o2 {
+			t.Fatal("Owner not deterministic")
+		}
+		if o1 < 0 || o1 >= 7 {
+			t.Fatalf("Owner %d out of range", o1)
+		}
+		seen[o1]++
+	}
+	// Balance: every node should own something over 500 blocks.
+	for n := 0; n < 7; n++ {
+		if seen[n] == 0 {
+			t.Errorf("node %d owns no blocks", n)
+		}
+	}
+}
+
+func TestDistributionNameMatters(t *testing.T) {
+	d := Distribution{Nodes: 16}
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		key := tensor.BlockKey{i, i + 1, i + 2, i + 3}
+		if d.Owner("t2", key) == d.Owner("v2", key) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("tensor name has no effect on placement")
+	}
+}
+
+// Property: ownership is stable under Nodes and spread over all nodes for
+// enough blocks.
+func TestPropertyDistribution(t *testing.T) {
+	f := func(nodes uint8, a, b, c, dd int16) bool {
+		n := int(nodes%32) + 1
+		d := Distribution{Nodes: n}
+		o := d.Owner("x", tensor.BlockKey{int(a), int(b), int(c), int(dd)})
+		return o >= 0 && o < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreGetAddRoundtrip(t *testing.T) {
+	s := NewStore(4)
+	s.Create("i0")
+	key := tensor.BlockKey{1, 2, 3, 4}
+	src := tensor.NewTile4(2, 2, 2, 2)
+	src.FillRandom(1, 1)
+	s.AddHashBlock("i0", key, src, 2)
+	got := s.GetHashBlock("i0", key)
+	want := tensor.NewTile4(2, 2, 2, 2)
+	want.AddScaled(src, 2)
+	if got.MaxAbsDiff(want) != 0 {
+		t.Error("Add/Get roundtrip mismatch")
+	}
+	// GetHashBlock must return a copy.
+	got.Data[0] = 1e9
+	if s.GetHashBlock("i0", key).Data[0] == 1e9 {
+		t.Error("GetHashBlock aliases stored data")
+	}
+}
+
+func TestStoreConcurrentAdd(t *testing.T) {
+	s := NewStore(2)
+	s.Create("i0")
+	key := tensor.BlockKey{0, 0, 0, 0}
+	src := tensor.NewTile4(3, 3, 1, 1)
+	for i := range src.Data {
+		src.Data[i] = 1
+	}
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.AddHashBlock("i0", key, src, 1)
+		}()
+	}
+	wg.Wait()
+	for _, v := range s.GetHashBlock("i0", key).Data {
+		if v != n {
+			t.Fatalf("lost updates: %v != %d", v, n)
+		}
+	}
+}
+
+func TestStoreNxtVal(t *testing.T) {
+	s := NewStore(1)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v := s.NxtVal()
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate ticket %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 800 {
+		t.Errorf("tickets = %d, want 800", len(seen))
+	}
+	s.ResetCounter()
+	if v := s.NxtVal(); v != 0 {
+		t.Errorf("after reset NxtVal = %d", v)
+	}
+}
+
+func TestStoreCreateDuplicatePanics(t *testing.T) {
+	s := NewStore(1)
+	s.Create("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Create("x")
+}
+
+func TestStoreMissingArrayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewStore(1).Array("nope")
+}
+
+func TestSimGetChargesRemotePath(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := cluster.Small()
+	cfg.JitterFrac = 0
+	cfg.NICBWBytes = 1e9
+	cfg.NetLatency = 0
+	cfg.GAStrideLatency = 10 * sim.Microsecond
+	cfg.GAServiceBW = 0.5e9
+	m := cluster.New(e, cfg)
+	g := NewSim(m)
+	var remote, local sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		g.GetHashBlock(p, 0, 1, 1e6, 100) // 1ms strides + 2ms service + 1ms wire
+		remote = p.Now() - t0
+		t0 = p.Now()
+		g.GetHashBlock(p, 1, 1, 1e6, 100) // local: 2MB through MemBW
+		local = p.Now() - t0
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if remote < 3990*sim.Microsecond || remote > 4010*sim.Microsecond {
+		t.Errorf("remote GET took %v, want ~4ms", remote)
+	}
+	if local >= remote {
+		t.Errorf("local GET (%v) not cheaper than remote (%v)", local, remote)
+	}
+	gets, accs := g.Stats()
+	if gets != 2 || accs != 0 {
+		t.Errorf("stats = %d gets, %d accs", gets, accs)
+	}
+}
+
+func TestSimNxtValSerializes(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := cluster.Small()
+	cfg.AtomicRTT = 10 * sim.Microsecond
+	m := cluster.New(e, cfg)
+	g := NewSim(m)
+	var latest sim.Time
+	const clients = 8
+	for i := 0; i < clients; i++ {
+		e.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			g.NxtVal(p)
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(clients) * cfg.AtomicRTT
+	if latest != want {
+		t.Errorf("8 serialized NXTVALs finished at %v, want %v", latest, want)
+	}
+}
+
+func TestSimNxtValUnique(t *testing.T) {
+	e := sim.NewEngine()
+	m := cluster.New(e, cluster.Small())
+	g := NewSim(m)
+	var vals []int64
+	for i := 0; i < 4; i++ {
+		e.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			for j := 0; j < 5; j++ {
+				vals = append(vals, g.NxtVal(p))
+			}
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(vals) != 20 {
+		t.Errorf("tickets = %d", len(vals))
+	}
+}
+
+func TestStoreAccessZeroCopy(t *testing.T) {
+	s := NewStore(2)
+	s.Create("t2")
+	key := tensor.BlockKey{1, 1, 1, 1}
+	src := tensor.NewTile4(2, 2, 1, 1)
+	src.FillRandom(9, 1)
+	s.AddHashBlock("t2", key, src, 1)
+	// ga_access returns the stored tile itself, not a copy.
+	a1 := s.Access("t2", key)
+	a2 := s.Access("t2", key)
+	if a1 != a2 {
+		t.Error("Access returned different pointers")
+	}
+	if s.GetHashBlock("t2", key) == a1 {
+		t.Error("GetHashBlock did not copy")
+	}
+}
+
+func TestSimAccRemoteUsesOneSidedPath(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := cluster.Small()
+	cfg.JitterFrac = 0
+	cfg.NetLatency = 0
+	cfg.GAStrideLatency = 10 * sim.Microsecond
+	cfg.GAServiceBW = 0.5e9
+	cfg.NICBWBytes = 1e9
+	m := cluster.New(e, cfg)
+	g := NewSim(m)
+	var remote, local sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		g.AddHashBlock(p, 0, 1, 1e6, 100) // strides 1ms + service 2ms + wire 1ms
+		remote = p.Now() - t0
+		t0 = p.Now()
+		g.AddHashBlock(p, 1, 1, 1e6, 100) // local: through GASrv only
+		local = p.Now() - t0
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if remote < 3990*sim.Microsecond || remote > 4010*sim.Microsecond {
+		t.Errorf("remote ACC = %v, want ~4ms", remote)
+	}
+	if local >= remote {
+		t.Errorf("local ACC (%v) not cheaper than remote (%v)", local, remote)
+	}
+	gets, accs := g.Stats()
+	if gets != 0 || accs != 2 {
+		t.Errorf("stats = %d gets, %d accs", gets, accs)
+	}
+}
+
+func TestDistributionSingleNode(t *testing.T) {
+	d := Distribution{Nodes: 1}
+	for i := 0; i < 20; i++ {
+		if d.Owner("x", tensor.BlockKey{i, 0, 0, 0}) != 0 {
+			t.Fatal("single-node owner != 0")
+		}
+	}
+}
+
+func TestDistributionZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Distribution{}.Owner("x", tensor.BlockKey{})
+}
+
+func TestSimResetNxtVal(t *testing.T) {
+	e := sim.NewEngine()
+	m := cluster.New(e, cluster.Small())
+	g := NewSim(m)
+	var first, second int64
+	e.Go("w", func(p *sim.Proc) {
+		g.NxtVal(p)
+		first = g.NxtVal(p)
+		g.ResetNxtVal()
+		second = g.NxtVal(p)
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || second != 0 {
+		t.Errorf("tickets = %d, %d; want 1, 0", first, second)
+	}
+}
+
+func TestAccRangeSegmentsSumToFullAdd(t *testing.T) {
+	s := NewStore(4)
+	s.Create("i0")
+	key := tensor.BlockKey{0, 1, 2, 3}
+	src := tensor.NewTile4(3, 3, 2, 2)
+	src.FillRandom(5, 1)
+	// Three disjoint segments must together equal one full accumulate.
+	n := src.Len()
+	for seg := 0; seg < 3; seg++ {
+		s.AccRange("i0", key, src, 2, seg*n/3, (seg+1)*n/3)
+	}
+	want := tensor.NewTile4(3, 3, 2, 2)
+	want.AddScaled(src, 2)
+	if d := s.GetHashBlock("i0", key).MaxAbsDiff(want); d != 0 {
+		t.Errorf("segmented accumulate differs by %g", d)
+	}
+}
+
+func TestAccRangeBoundsPanics(t *testing.T) {
+	s := NewStore(1)
+	s.Create("i0")
+	src := tensor.NewTile4(2, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.AccRange("i0", tensor.BlockKey{}, src, 1, 2, 99)
+}
+
+func TestAccRangeConcurrentSegments(t *testing.T) {
+	s := NewStore(1)
+	s.Create("i0")
+	key := tensor.BlockKey{}
+	src := tensor.NewTile4(4, 4, 2, 2)
+	for i := range src.Data {
+		src.Data[i] = 1
+	}
+	n := src.Len()
+	const span = 8
+	const rounds = 16
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for seg := 0; seg < span; seg++ {
+			wg.Add(1)
+			go func(seg int) {
+				defer wg.Done()
+				s.AccRange("i0", key, src, 1, seg*n/span, (seg+1)*n/span)
+			}(seg)
+		}
+	}
+	wg.Wait()
+	for _, v := range s.GetHashBlock("i0", key).Data {
+		if v != rounds {
+			t.Fatalf("lost segment updates: %v != %d", v, rounds)
+		}
+	}
+}

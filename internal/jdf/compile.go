@@ -1,0 +1,444 @@
+package jdf
+
+import (
+	"fmt"
+
+	"parsec/internal/ptg"
+)
+
+// Env supplies everything the notation references by name: the globals
+// of the PTG (Consts), the arbitrary helper functions of Fig 1 (Funcs),
+// task bodies and simulation costs keyed by the BODY identifier, terminal
+// data resolvers (Data), and per-class payload sizes for simulated
+// transfers (FlowBytes, keyed by class name).
+type Env struct {
+	Consts    map[string]int
+	Funcs     map[string]func(...int) int
+	Bodies    map[string]func(*ptg.Ctx)
+	Costs     map[string]func(ptg.Args) ptg.Cost
+	Data      map[string]func(args []int) ptg.DataRef
+	FlowBytes map[string]func(a ptg.Args, flow string) int64
+	// Lenient makes unresolved names non-fatal — unknown constants
+	// evaluate to 0, unknown functions return 0, unknown bodies and data
+	// resolvers become no-ops — so a source can be parsed and its graph
+	// shape inspected without supplying a full environment (cmd/jdfc).
+	Lenient bool
+}
+
+// Compile parses the JDF source and builds the graph.
+func Compile(name, src string, env Env) (*ptg.Graph, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, env: env, g: ptg.NewGraph(name)}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	if err := p.g.Validate(); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}
+
+type paramRange struct {
+	lo, hi expr
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	env  Env
+	g    *ptg.Graph
+
+	curParams []string
+	classRefs []token // class names referenced by dependence clauses
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) expectPunct(text string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return fmt.Errorf("jdf: line %d: expected %q, got %v", t.line, text, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, fmt.Errorf("jdf: line %d: expected identifier, got %v", t.line, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectNewline() error {
+	t := p.next()
+	if t.kind != tokNewline && t.kind != tokEOF {
+		return fmt.Errorf("jdf: line %d: expected end of line, got %v", t.line, t)
+	}
+	return nil
+}
+
+func (p *parser) parseFile() error {
+	for {
+		p.skipNewlines()
+		if p.peek().kind == tokEOF {
+			break
+		}
+		if err := p.parseClass(); err != nil {
+			return err
+		}
+	}
+	for _, ref := range p.classRefs {
+		if p.g.ClassByName(ref.text) == nil {
+			return fmt.Errorf("jdf: line %d: dependence references undefined class %q", ref.line, ref.text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseClass() error {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var params []string
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		params = append(params, t.text)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if len(params) > ptg.MaxParams {
+		return fmt.Errorf("jdf: line %d: class %s has %d parameters (max %d)",
+			nameTok.line, nameTok.text, len(params), ptg.MaxParams)
+	}
+	if err := p.expectNewline(); err != nil {
+		return err
+	}
+	p.curParams = params
+	tc := p.g.Class(nameTok.text)
+
+	// Parameter ranges, one line per parameter, in declaration order.
+	ranges := make([]paramRange, len(params))
+	for i, name := range params {
+		p.skipNewlines()
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if t.text != name {
+			return fmt.Errorf("jdf: line %d: expected range for parameter %q, got %q", t.line, name, t.text)
+		}
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		rt := p.next()
+		if rt.kind != tokRange {
+			return fmt.Errorf("jdf: line %d: expected '..', got %v", rt.line, rt)
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		ranges[i] = paramRange{lo: lo, hi: hi}
+		if err := p.expectNewline(); err != nil {
+			return err
+		}
+	}
+	nparams := len(params)
+	tc.Domain = func(emit func(ptg.Args)) {
+		vals := make([]int, nparams)
+		var rec func(d int)
+		rec = func(d int) {
+			if d == nparams {
+				emit(toArgs(vals))
+				return
+			}
+			lo := ranges[d].lo.eval(vals)
+			hi := ranges[d].hi.eval(vals)
+			for v := lo; v <= hi; v++ {
+				vals[d] = v
+				rec(d + 1)
+			}
+		}
+		rec(0)
+	}
+
+	// Class body: affinity, flows, priority, BODY.
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		switch {
+		case t.kind == tokPunct && t.text == ":":
+			p.next()
+			aff, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			tc.Affinity = func(a ptg.Args) int { return aff.eval(a[:]) }
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case t.kind == tokPunct && t.text == ";":
+			p.next()
+			pr, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			tc.Priority = func(a ptg.Args) int64 { return int64(pr.eval(a[:])) }
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && (t.text == "READ" || t.text == "RW" || t.text == "WRITE"):
+			if err := p.parseFlow(tc); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "BODY":
+			p.next()
+			bodyTok, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.bindBody(tc, bodyTok); err != nil {
+				return err
+			}
+			p.skipNewlines()
+			endTok, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if endTok.text != "END" {
+				return fmt.Errorf("jdf: line %d: expected END, got %q", endTok.line, endTok.text)
+			}
+			if fb, ok := p.env.FlowBytes[tc.Name]; ok {
+				tc.FlowBytes = fb
+			}
+			return p.expectNewline()
+		default:
+			return fmt.Errorf("jdf: line %d: unexpected %v in class %s", t.line, t, tc.Name)
+		}
+	}
+}
+
+func (p *parser) bindBody(tc *ptg.TaskClass, bodyTok token) error {
+	name := bodyTok.text
+	body, hasBody := p.env.Bodies[name]
+	cost, hasCost := p.env.Costs[name]
+	if !hasBody && !hasCost && name != "none" && !p.env.Lenient {
+		return fmt.Errorf("jdf: line %d: BODY %q not registered in Bodies or Costs", bodyTok.line, name)
+	}
+	if hasBody {
+		tc.Body = body
+	}
+	if hasCost {
+		tc.Cost = cost
+	}
+	return nil
+}
+
+// parseFlow parses one flow declaration with its dependence clauses,
+// which may continue onto following lines beginning with <- or ->.
+func (p *parser) parseFlow(tc *ptg.TaskClass) error {
+	modeTok := p.next()
+	var mode ptg.Mode
+	switch modeTok.text {
+	case "READ":
+		mode = ptg.Read
+	case "RW":
+		mode = ptg.RW
+	case "WRITE":
+		mode = ptg.Write
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	f := tc.AddFlow(nameTok.text, mode)
+	for {
+		t := p.peek()
+		switch t.kind {
+		case tokArrowIn, tokArrowOut:
+			p.next()
+			if err := p.parseDep(f, t.kind == tokArrowIn); err != nil {
+				return err
+			}
+		case tokNewline:
+			// A continuation line must start with an arrow.
+			save := p.pos
+			p.skipNewlines()
+			if k := p.peek().kind; k == tokArrowIn || k == tokArrowOut {
+				continue
+			}
+			p.pos = save
+			return p.expectNewline()
+		default:
+			return fmt.Errorf("jdf: line %d: unexpected %v in flow %s.%s", t.line, t, tc.Name, f.Name)
+		}
+	}
+}
+
+// parseDep parses one guarded dependence clause after its arrow.
+func (p *parser) parseDep(f *ptg.Flow, isInput bool) error {
+	var guard func(ptg.Args) bool
+	// Optional "(expr) ?" guard.
+	if t := p.peek(); t.kind == tokPunct && t.text == "(" {
+		p.next()
+		g, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		if err := p.expectPunct("?"); err != nil {
+			return err
+		}
+		guard = func(a ptg.Args) bool { return g.eval(a[:]) != 0 }
+	}
+
+	t, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	switch t.text {
+	case "NEW":
+		if !isInput {
+			return fmt.Errorf("jdf: line %d: NEW is only valid on an input clause", t.line)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		size, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		f.InNew(guard, func(a ptg.Args) int64 { return int64(size.eval(a[:])) })
+		return nil
+	case "DATA":
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		resolver, ok := p.env.Data[nameTok.text]
+		if !ok {
+			if !p.env.Lenient {
+				return fmt.Errorf("jdf: line %d: unknown data resolver %q", nameTok.line, nameTok.text)
+			}
+			dataName := nameTok.text
+			resolver = func(args []int) ptg.DataRef {
+				return ptg.DataRef{ID: fmt.Sprintf("%s%v", dataName, args)}
+			}
+		}
+		args, err := p.parseArgList()
+		if err != nil {
+			return err
+		}
+		ref := func(a ptg.Args) ptg.DataRef { return resolver(evalAll(args, a)) }
+		if isInput {
+			f.InData(guard, ref)
+		} else {
+			f.OutData(guard, ref)
+		}
+		return nil
+	default:
+		// "flowName ClassName(args)"
+		flowName := t.text
+		classTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		className := classTok.text
+		p.classRefs = append(p.classRefs, classTok)
+		args, err := p.parseArgList()
+		if err != nil {
+			return err
+		}
+		target := func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: className, Args: toArgs(evalAll(args, a))}, flowName
+		}
+		if isInput {
+			f.In(guard, target)
+		} else {
+			f.Out(guard, target)
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseArgList() ([]expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []expr
+	if !(p.peek().kind == tokPunct && p.peek().text == ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(args) > ptg.MaxParams {
+		return nil, fmt.Errorf("jdf: too many task arguments (%d, max %d)", len(args), ptg.MaxParams)
+	}
+	return args, nil
+}
+
+func evalAll(exprs []expr, a ptg.Args) []int {
+	out := make([]int, len(exprs))
+	for i, e := range exprs {
+		out[i] = e.eval(a[:])
+	}
+	return out
+}
+
+func toArgs(vals []int) ptg.Args {
+	var a ptg.Args
+	copy(a[:], vals)
+	return a
+}

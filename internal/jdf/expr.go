@@ -1,0 +1,259 @@
+package jdf
+
+import "fmt"
+
+// expr is a compiled integer expression evaluated against a task
+// instance's parameter values. Booleans are represented as 0/1.
+type expr interface {
+	eval(args []int) int
+}
+
+type litExpr int
+
+func (l litExpr) eval([]int) int { return int(l) }
+
+type paramExpr int // index into args
+
+func (p paramExpr) eval(args []int) int { return args[p] }
+
+type unaryExpr struct {
+	op string
+	x  expr
+}
+
+func (u unaryExpr) eval(args []int) int {
+	v := u.x.eval(args)
+	switch u.op {
+	case "-":
+		return -v
+	case "!":
+		if v == 0 {
+			return 1
+		}
+		return 0
+	}
+	panic("jdf: bad unary " + u.op)
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+func (b binExpr) eval(args []int) int {
+	// Short-circuit logical operators.
+	switch b.op {
+	case "&&":
+		if b.l.eval(args) == 0 {
+			return 0
+		}
+		return boolInt(b.r.eval(args) != 0)
+	case "||":
+		if b.l.eval(args) != 0 {
+			return 1
+		}
+		return boolInt(b.r.eval(args) != 0)
+	}
+	l, r := b.l.eval(args), b.r.eval(args)
+	switch b.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		return l / r
+	case "%":
+		return l % r
+	case "==":
+		return boolInt(l == r)
+	case "!=":
+		return boolInt(l != r)
+	case "<":
+		return boolInt(l < r)
+	case "<=":
+		return boolInt(l <= r)
+	case ">":
+		return boolInt(l > r)
+	case ">=":
+		return boolInt(l >= r)
+	}
+	panic("jdf: bad op " + b.op)
+}
+
+type ternaryExpr struct{ cond, then, els expr }
+
+func (t ternaryExpr) eval(args []int) int {
+	if t.cond.eval(args) != 0 {
+		return t.then.eval(args)
+	}
+	return t.els.eval(args)
+}
+
+type callExpr struct {
+	name string
+	fn   func(...int) int
+	args []expr
+}
+
+func (c callExpr) eval(args []int) int {
+	vals := make([]int, len(c.args))
+	for i, a := range c.args {
+		vals[i] = a.eval(args)
+	}
+	return c.fn(vals...)
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// binPrec returns the precedence of a binary operator (higher binds
+// tighter), or -1 if the token is not a binary operator.
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	}
+	return -1
+}
+
+// parseExpr parses an expression with precedence climbing, including the
+// ternary ?: at the lowest precedence.
+func (p *parser) parseExpr() (expr, error) {
+	e, err := p.parseBin(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "?" {
+		p.next()
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ternaryExpr{cond: e, then: then, els: els}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseBin(minPrec int) (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec := binPrec(t.text)
+		if prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: t.text, l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: t.text, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		var v int
+		fmt.Sscanf(t.text, "%d", &v)
+		return litExpr(v), nil
+	case tokIdent:
+		// Call?
+		if p.peek().kind == tokPunct && p.peek().text == "(" {
+			fn, ok := p.env.Funcs[t.text]
+			if !ok {
+				if !p.env.Lenient {
+					return nil, fmt.Errorf("jdf: line %d: unknown function %q", t.line, t.text)
+				}
+				fn = func(...int) int { return 0 }
+			}
+			p.next()
+			var args []expr
+			if !(p.peek().kind == tokPunct && p.peek().text == ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tokPunct && p.peek().text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return callExpr{name: t.text, fn: fn, args: args}, nil
+		}
+		// Parameter of the current class?
+		for i, name := range p.curParams {
+			if name == t.text {
+				return paramExpr(i), nil
+			}
+		}
+		// Environment constant?
+		if v, ok := p.env.Consts[t.text]; ok {
+			return litExpr(v), nil
+		}
+		if p.env.Lenient {
+			return litExpr(0), nil
+		}
+		return nil, fmt.Errorf("jdf: line %d: unknown identifier %q", t.line, t.text)
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("jdf: line %d: unexpected %v in expression", t.line, t)
+}

@@ -1,0 +1,143 @@
+// Package jdf compiles the textual PTG notation of the paper's Fig 1 —
+// the "job data flow" dialect — into executable ptg.Graph structures.
+//
+// A task class is written as in the paper:
+//
+//	GEMM(L1, L2)
+//	  L1 = 0 .. size_L1 - 1
+//	  L2 = 0 .. chain_len(L1) - 1
+//	  : chain_node(L1)
+//	  READ A <- D READA(L1, L2)
+//	  READ B <- D READB(L1, L2)
+//	  RW C <- (L2 == 0) ? C DFILL(L1)
+//	       <- C GEMM(L1, L2 - 1)
+//	       -> (L2 < chain_len(L1) - 1) ? C GEMM(L1, L2 + 1)
+//	       -> (L2 == chain_len(L1) - 1) ? C SORT(L1)
+//	  ; size_L1 - L1 + P
+//	BODY gemm
+//	END
+//
+// Parameter ranges, the affinity line (":"), guarded dependence clauses,
+// and the priority line (";") accept integer expressions over the class
+// parameters, environment constants (the PTG's globals, e.g. the
+// mtdata->size_L1 lookups of Fig 1), and registered environment
+// functions (the "calls to arbitrary C functions" the paper highlights,
+// e.g. find_last_segment_owner). Task bodies are referenced by name and
+// resolved from the environment, since Go cannot compile embedded C.
+package jdf
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokArrowIn  // <-
+	tokArrowOut // ->
+	tokRange    // ..
+	tokPunct    // single/double character operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits source text into tokens. Newlines are significant (they end
+// clauses); '#' starts a comment to end of line; clauses may continue on
+// the next line when it begins with "<-" or "->".
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(kind tokKind, text string) {
+		toks = append(toks, token{kind: kind, text: text, line: line})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(tokNewline, "\\n")
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "<-"):
+			emit(tokArrowIn, "<-")
+			i += 2
+		case strings.HasPrefix(src[i:], "->"):
+			emit(tokArrowOut, "->")
+			i += 2
+		case strings.HasPrefix(src[i:], ".."):
+			emit(tokRange, "..")
+			i += 2
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			emit(tokNumber, src[i:j])
+			i = j
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				emit(tokPunct, two)
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '?', ':', ';', '=', '+', '-', '*', '/', '%', '<', '>', '!':
+				emit(tokPunct, string(c))
+				i++
+			default:
+				return nil, fmt.Errorf("jdf: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	emit(tokEOF, "")
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

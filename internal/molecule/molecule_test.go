@@ -1,0 +1,114 @@
+package molecule
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := s.Check(); err != nil {
+			t.Errorf("%s inconsistent: %v", name, err)
+		}
+	}
+	if _, err := Preset("unobtainium"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestBetaCaroteneScale(t *testing.T) {
+	s := BetaCarotene631G()
+	if s.BasisFns != 472 {
+		t.Errorf("basis functions = %d, want 472 (paper §V)", s.BasisFns)
+	}
+	if s.NOccupied != 148 || s.NVirtual != 324 {
+		t.Errorf("occ/virt = %d/%d, want 148/324", s.NOccupied, s.NVirtual)
+	}
+	// Two spins worth of tiles.
+	if len(s.Occ)%2 != 0 || len(s.Virt)%2 != 0 {
+		t.Error("odd tile counts; spins not duplicated")
+	}
+	for _, tl := range s.Virt {
+		if tl.Size > s.TileTarget {
+			t.Errorf("virt tile size %d exceeds target %d", tl.Size, s.TileTarget)
+		}
+	}
+}
+
+func TestTileSpinHalves(t *testing.T) {
+	s := Water631G()
+	half := len(s.Occ) / 2
+	for i, tl := range s.Occ {
+		wantSpin := 0
+		if i >= half {
+			wantSpin = 1
+		}
+		if tl.Spin != wantSpin {
+			t.Errorf("occ tile %d spin %d, want %d", i, tl.Spin, wantSpin)
+		}
+	}
+}
+
+func TestTilesAccessor(t *testing.T) {
+	s := Water631G()
+	if len(s.Tiles(Occ)) != len(s.Occ) || len(s.Tiles(Virt)) != len(s.Virt) {
+		t.Error("Tiles accessor mismatch")
+	}
+	if Occ.String() != "occ" || Virt.String() != "virt" {
+		t.Error("SpaceKind String")
+	}
+}
+
+func TestCustomIrrepDefault(t *testing.T) {
+	s := Custom("x", 4, 6, 2, 0, 1)
+	if s.NIrreps != 1 {
+		t.Errorf("NIrreps defaulted to %d, want 1", s.NIrreps)
+	}
+	if err := s.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any custom system is internally consistent and tile sizes are
+// balanced (max - min <= 1 within a spin).
+func TestPropertyCustomConsistent(t *testing.T) {
+	f := func(occ, virt, tile, irr uint8) bool {
+		nOcc := int(occ%50) + 1
+		nVirt := int(virt%80) + 1
+		target := int(tile%16) + 1
+		nIrr := int(irr%6) + 1
+		s := Custom("prop", nOcc, nVirt, target, nIrr, 7)
+		if s.Check() != nil {
+			return false
+		}
+		for _, kind := range []SpaceKind{Occ, Virt} {
+			min, max := 1<<30, 0
+			for _, tl := range s.Tiles(kind) {
+				if tl.Size < min {
+					min = tl.Size
+				}
+				if tl.Size > max {
+					max = tl.Size
+				}
+			}
+			if max-min > 1 || max > target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	s := Benzene631G()
+	if got := s.String(); len(got) == 0 || got[:7] != "benzene" {
+		t.Errorf("String = %q", got)
+	}
+}

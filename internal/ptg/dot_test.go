@@ -1,0 +1,119 @@
+package ptg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportDOT(t *testing.T) {
+	g := chainGraph(2, func(int) int { return 2 })
+	var buf bytes.Buffer
+	if err := ExportDOT(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT document")
+	}
+	// Chain edge GEMM(0,0) -> GEMM(0,1) must exist with flow label.
+	if !strings.Contains(out, `"GEMM(0,0,0)" -> "GEMM(0,1,0)" [label="C→C"]`) {
+		t.Errorf("missing chain edge:\n%s", out)
+	}
+	// Terminal data: reader inputs dashed from data nodes.
+	if !strings.Contains(out, `"READA(0,0,0)" -> "GEMM(0,0,0)" [label="D→A"]`) {
+		t.Error("missing read edge")
+	}
+	if !strings.Contains(out, "cylinder") {
+		t.Error("missing data node shape")
+	}
+	// Last GEMM feeds SORT.
+	if !strings.Contains(out, `"GEMM(1,1,0)" -> "SORT(1,0,0)"`) {
+		t.Error("missing sort edge")
+	}
+}
+
+func TestExportDOTDetectsDangling(t *testing.T) {
+	g := NewGraph("dangling")
+	tc := g.Class("X")
+	tc.Domain = func(emit func(Args)) { emit(A1(0)) }
+	tc.AddFlow("D", Write).
+		InNew(nil, func(a Args) int64 { return 1 }).
+		Out(nil, func(a Args) (TaskRef, string) { return TaskRef{"Y", A1(0)}, "D" })
+	var buf bytes.Buffer
+	if err := ExportDOT(g, &buf); err == nil {
+		t.Error("dangling edge accepted")
+	}
+}
+
+func TestExportDOTInvalidGraph(t *testing.T) {
+	g := NewGraph("invalid")
+	g.Class("X") // no Domain
+	var buf bytes.Buffer
+	if err := ExportDOT(g, &buf); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestAnalyzeChainVsParallel(t *testing.T) {
+	// A serial chain of 10 unit tasks: work == span, max speedup 1.
+	chain := chainGraph(1, func(int) int { return 10 })
+	unit := func(in *Instance) int64 {
+		if in.Ref.Class == "GEMM" {
+			return 100
+		}
+		return 0
+	}
+	a, err := Analyze(chain, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CriticalPath != 1000 || a.TotalWork != 1000 {
+		t.Errorf("chain: %+v", a)
+	}
+	if a.MaxSpeedup != 1 {
+		t.Errorf("chain max speedup = %v", a.MaxSpeedup)
+	}
+	// The critical path must walk the GEMM chain in order.
+	gemms := 0
+	for _, r := range a.Path {
+		if r.Class == "GEMM" {
+			gemms++
+		}
+	}
+	if gemms != 10 {
+		t.Errorf("critical path has %d GEMMs, want 10", gemms)
+	}
+
+	// Ten independent chains of one GEMM each: span = one task.
+	wide := chainGraph(10, func(int) int { return 1 })
+	a2, err := Analyze(wide, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.TotalWork != 1000 || a2.CriticalPath != 100 {
+		t.Errorf("wide: %+v", a2)
+	}
+	if a2.MaxSpeedup != 10 {
+		t.Errorf("wide max speedup = %v", a2.MaxSpeedup)
+	}
+}
+
+func TestAnalyzeCountsEdges(t *testing.T) {
+	g := chainGraph(2, func(int) int { return 3 })
+	a, err := Analyze(g, func(*Instance) int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tasks != 2+6+6+6+2 {
+		t.Errorf("tasks = %d", a.Tasks)
+	}
+	// Edges: DFILL->GEMM0 (2), GEMM chain (2x2), last GEMM->SORT (2),
+	// READA->GEMM (6), READB->GEMM (6) = 20.
+	if a.Edges != 20 {
+		t.Errorf("edges = %d, want 20", a.Edges)
+	}
+	if a.String() == "" {
+		t.Error("empty analysis string")
+	}
+}

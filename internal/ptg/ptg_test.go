@@ -1,0 +1,429 @@
+package ptg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// chainGraph builds the paper's Fig 1 PTG: DFILL(L1) starts a chain,
+// GEMM(L1, L2) tasks pass C serially along the chain, the last GEMM
+// sends C to SORT(L1). Readers supply A and B from terminal data.
+func chainGraph(numChains int, chainLen func(int) int) *Graph {
+	g := NewGraph("fig1-chain")
+
+	dfill := g.Class("DFILL")
+	dfill.Domain = func(emit func(Args)) {
+		for l1 := 0; l1 < numChains; l1++ {
+			emit(A1(l1))
+		}
+	}
+	dfill.Priority = func(a Args) int64 { return int64(numChains - a[0]) }
+	dfill.AddFlow("C", Write).
+		InNew(nil, func(a Args) int64 { return 1024 }).
+		Out(nil, func(a Args) (TaskRef, string) {
+			return TaskRef{"GEMM", A2(a[0], 0)}, "C"
+		})
+
+	read := func(name string) *TaskClass {
+		rc := g.Class(name)
+		rc.Domain = func(emit func(Args)) {
+			for l1 := 0; l1 < numChains; l1++ {
+				for l2 := 0; l2 < chainLen(l1); l2++ {
+					emit(A2(l1, l2))
+				}
+			}
+		}
+		rc.Priority = func(a Args) int64 { return int64(numChains-a[0]) + 5 }
+		rc.AddFlow("D", Write).
+			InData(nil, func(a Args) DataRef {
+				return DataRef{ID: fmt.Sprintf("%s(%d,%d)", name, a[0], a[1]), Bytes: 512}
+			}).
+			Out(nil, func(a Args) (TaskRef, string) {
+				return TaskRef{"GEMM", a}, name[len(name)-1:]
+			})
+		return rc
+	}
+	read("READA")
+	read("READB")
+
+	gemm := g.Class("GEMM")
+	gemm.Domain = func(emit func(Args)) {
+		for l1 := 0; l1 < numChains; l1++ {
+			for l2 := 0; l2 < chainLen(l1); l2++ {
+				emit(A2(l1, l2))
+			}
+		}
+	}
+	gemm.Priority = func(a Args) int64 { return int64(numChains-a[0]) + 1 }
+	gemm.AddFlow("A", Read).In(nil, func(a Args) (TaskRef, string) { return TaskRef{"READA", a}, "D" })
+	gemm.AddFlow("B", Read).In(nil, func(a Args) (TaskRef, string) { return TaskRef{"READB", a}, "D" })
+	gemm.AddFlow("C", RW).
+		In(func(a Args) bool { return a[1] == 0 },
+			func(a Args) (TaskRef, string) { return TaskRef{"DFILL", A1(a[0])}, "C" }).
+		In(func(a Args) bool { return a[1] != 0 },
+			func(a Args) (TaskRef, string) { return TaskRef{"GEMM", A2(a[0], a[1]-1)}, "C" }).
+		Out(func(a Args) bool { return a[1] < chainLen(a[0])-1 },
+			func(a Args) (TaskRef, string) { return TaskRef{"GEMM", A2(a[0], a[1]+1)}, "C" }).
+		Out(func(a Args) bool { return a[1] == chainLen(a[0])-1 },
+			func(a Args) (TaskRef, string) { return TaskRef{"SORT", A1(a[0])}, "C" })
+
+	sort := g.Class("SORT")
+	sort.Domain = func(emit func(Args)) {
+		for l1 := 0; l1 < numChains; l1++ {
+			emit(A1(l1))
+		}
+	}
+	sort.AddFlow("C", RW).
+		In(nil, func(a Args) (TaskRef, string) {
+			return TaskRef{"GEMM", A2(a[0], chainLen(a[0])-1)}, "C"
+		}).
+		OutData(nil, func(a Args) DataRef {
+			return DataRef{ID: fmt.Sprintf("out(%d)", a[0]), Bytes: 1024}
+		})
+	return g
+}
+
+func TestValidateOK(t *testing.T) {
+	g := chainGraph(2, func(int) int { return 3 })
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMissingDomain(t *testing.T) {
+	g := NewGraph("bad")
+	g.Class("X")
+	if err := g.Validate(); err == nil {
+		t.Error("missing Domain accepted")
+	}
+}
+
+func TestValidateRejectsUnguardedNonLastInput(t *testing.T) {
+	g := NewGraph("bad")
+	tc := g.Class("X")
+	tc.Domain = func(emit func(Args)) { emit(A1(0)) }
+	f := tc.AddFlow("D", Read)
+	f.InData(nil, func(a Args) DataRef { return DataRef{ID: "d"} })
+	f.InData(func(a Args) bool { return true }, func(a Args) DataRef { return DataRef{ID: "e"} })
+	if err := g.Validate(); err == nil {
+		t.Error("unguarded non-last input accepted")
+	}
+}
+
+func TestValidateRejectsAmbiguousSource(t *testing.T) {
+	g := NewGraph("bad")
+	tc := g.Class("X")
+	tc.Domain = func(emit func(Args)) { emit(A1(0)) }
+	tc.Flows = append(tc.Flows, &Flow{Name: "D", Ins: []InDep{{
+		Data: func(a Args) DataRef { return DataRef{} },
+		New:  func(a Args) int64 { return 1 },
+	}}})
+	if err := g.Validate(); err == nil {
+		t.Error("two-source input accepted")
+	}
+}
+
+func TestDuplicateClassAndFlowPanic(t *testing.T) {
+	g := NewGraph("dup")
+	tc := g.Class("X")
+	tc.AddFlow("D", Read)
+	for _, fn := range []func(){
+		func() { g.Class("X") },
+		func() { tc.AddFlow("D", Read) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCountTasksAndEnumerate(t *testing.T) {
+	g := chainGraph(3, func(l1 int) int { return l1 + 1 }) // lens 1,2,3
+	counts, total := g.CountTasks()
+	// DFILL 3, READA 6, READB 6, GEMM 6, SORT 3 = 24.
+	want := map[string]int{"DFILL": 3, "READA": 6, "READB": 6, "GEMM": 6, "SORT": 3}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, counts[k], v)
+		}
+	}
+	if total != 24 {
+		t.Errorf("total = %d, want 24", total)
+	}
+	if got := len(g.Enumerate()); got != 24 {
+		t.Errorf("Enumerate len = %d", got)
+	}
+}
+
+func TestTrackerInitialReady(t *testing.T) {
+	g := chainGraph(2, func(int) int { return 2 })
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := tr.InitialReady()
+	// DFILLs (New buffer) and all readers (terminal data) are ready;
+	// GEMMs and SORTs wait.
+	wantReady := 2 + 4 + 4
+	if len(ready) != wantReady {
+		t.Fatalf("initial ready = %d, want %d", len(ready), wantReady)
+	}
+	for _, in := range ready {
+		if in.Ref.Class == "GEMM" || in.Ref.Class == "SORT" {
+			t.Errorf("%v ready at start", in.Ref)
+		}
+	}
+	if tr.Remaining() != 16 { // 2 DFILL + 4 READA + 4 READB + 4 GEMM + 2 SORT
+		t.Errorf("Remaining = %d, want 16", tr.Remaining())
+	}
+}
+
+// runAll drives the tracker to completion single-threadedly, returning
+// the execution order.
+func runAll(t *testing.T, tr *Tracker) []TaskRef {
+	t.Helper()
+	var order []TaskRef
+	queue := append([]*Instance(nil), tr.InitialReady()...)
+	for len(queue) > 0 {
+		in := queue[0]
+		queue = queue[1:]
+		if err := tr.Start(in); err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, in.Ref)
+		dels, _, err := tr.Complete(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dels {
+			ready, err := tr.Deliver(d.To, d.ToFlow, fmt.Sprintf("payload:%v.%d", d.From.Ref, d.FromFlow))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ready {
+				queue = append(queue, d.To)
+			}
+		}
+	}
+	return order
+}
+
+func TestTrackerRunsToCompletion(t *testing.T) {
+	g := chainGraph(3, func(l1 int) int { return 2 + l1 })
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := runAll(t, tr)
+	if !tr.Done() {
+		t.Fatalf("not done: %v", tr.CheckQuiescent())
+	}
+	if err := tr.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain order: each GEMM(L1,k) must appear after GEMM(L1,k-1) and
+	// after its readers; SORT(L1) last of its chain.
+	posOf := map[TaskRef]int{}
+	for i, r := range order {
+		posOf[r] = i
+	}
+	for l1 := 0; l1 < 3; l1++ {
+		for l2 := 0; l2 < 2+l1; l2++ {
+			gr := TaskRef{"GEMM", A2(l1, l2)}
+			if l2 > 0 && posOf[gr] < posOf[TaskRef{"GEMM", A2(l1, l2-1)}] {
+				t.Errorf("GEMM(%d,%d) before its predecessor", l1, l2)
+			}
+			if posOf[gr] < posOf[TaskRef{"READA", A2(l1, l2)}] {
+				t.Errorf("GEMM(%d,%d) before READA", l1, l2)
+			}
+		}
+		if posOf[TaskRef{"SORT", A1(l1)}] < posOf[TaskRef{"GEMM", A2(l1, 1+l1)}] {
+			t.Errorf("SORT(%d) before last GEMM", l1)
+		}
+	}
+}
+
+func TestTrackerTerminalWrites(t *testing.T) {
+	g := chainGraph(1, func(int) int { return 1 })
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes []TerminalWrite
+	queue := append([]*Instance(nil), tr.InitialReady()...)
+	for len(queue) > 0 {
+		in := queue[0]
+		queue = queue[1:]
+		tr.Start(in)
+		dels, ws, err := tr.Complete(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes = append(writes, ws...)
+		for _, d := range dels {
+			if ready, err := tr.Deliver(d.To, d.ToFlow, 1); err != nil {
+				t.Fatal(err)
+			} else if ready {
+				queue = append(queue, d.To)
+			}
+		}
+	}
+	if len(writes) != 1 || writes[0].Data.ID != "out(0)" {
+		t.Errorf("terminal writes = %+v", writes)
+	}
+}
+
+func TestDeliverErrors(t *testing.T) {
+	g := chainGraph(1, func(int) int { return 2 })
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemm0 := tr.Instance(TaskRef{"GEMM", A2(0, 0)})
+	// Deliver to a flow with a data source (A comes from READA task, so
+	// flow A is task-sourced; but DFILL's C flow is New-sourced).
+	dfill := tr.Instance(TaskRef{"DFILL", A1(0)})
+	if _, err := tr.Deliver(dfill, 0, nil); err == nil {
+		t.Error("Deliver to New-sourced flow accepted")
+	}
+	// Duplicate delivery.
+	if _, err := tr.Deliver(gemm0, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Deliver(gemm0, 0, "x"); err == nil {
+		t.Error("duplicate delivery accepted")
+	}
+	// Out-of-range flow.
+	if _, err := tr.Deliver(gemm0, 99, "x"); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+}
+
+func TestStartCompleteStateErrors(t *testing.T) {
+	g := chainGraph(1, func(int) int { return 1 })
+	tr, _ := NewTracker(g)
+	gemm := tr.Instance(TaskRef{"GEMM", A2(0, 0)})
+	if err := tr.Start(gemm); err == nil {
+		t.Error("Start of waiting task accepted")
+	}
+	if _, _, err := tr.Complete(gemm); err == nil {
+		t.Error("Complete of waiting task accepted")
+	}
+	dfill := tr.Instance(TaskRef{"DFILL", A1(0)})
+	if err := tr.Start(dfill); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(dfill); err == nil {
+		t.Error("double Start accepted")
+	}
+}
+
+func TestInactiveFlow(t *testing.T) {
+	// A class with a flow whose only input guard never fires: the flow is
+	// inactive and the task is ready immediately.
+	g := NewGraph("inactive")
+	tc := g.Class("X")
+	tc.Domain = func(emit func(Args)) { emit(A1(0)) }
+	tc.AddFlow("D", Read).In(func(a Args) bool { return false },
+		func(a Args) (TaskRef, string) { return TaskRef{"X", A1(99)}, "D" })
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.InitialReady()) != 1 {
+		t.Error("task with inactive flow not initially ready")
+	}
+	x := tr.Instance(TaskRef{"X", A1(0)})
+	if x.In[0] != nil {
+		t.Error("inactive flow has payload")
+	}
+}
+
+func TestCompleteTargetsMissingTask(t *testing.T) {
+	g := NewGraph("dangling")
+	tc := g.Class("X")
+	tc.Domain = func(emit func(Args)) { emit(A1(0)) }
+	tc.AddFlow("D", Write).
+		InNew(nil, func(a Args) int64 { return 8 }).
+		Out(nil, func(a Args) (TaskRef, string) { return TaskRef{"Y", A1(0)}, "D" })
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tr.Instance(TaskRef{"X", A1(0)})
+	tr.Start(x)
+	if _, _, err := tr.Complete(x); err == nil {
+		t.Error("dangling consumer accepted")
+	}
+}
+
+func TestPriorityAndAffinityRecorded(t *testing.T) {
+	g := chainGraph(4, func(int) int { return 1 })
+	gemm := g.ClassByName("GEMM")
+	gemm.Affinity = func(a Args) int { return a[0] % 2 }
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tr.Instance(TaskRef{"GEMM", A2(3, 0)})
+	if in.Node != 1 {
+		t.Errorf("Node = %d, want 1", in.Node)
+	}
+	if in.Priority != int64(4-3)+1 {
+		t.Errorf("Priority = %d", in.Priority)
+	}
+}
+
+func TestFlowBytesInDeliveries(t *testing.T) {
+	g := chainGraph(1, func(int) int { return 1 })
+	g.ClassByName("DFILL").FlowBytes = func(a Args, flow string) int64 { return 4096 }
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfill := tr.Instance(TaskRef{"DFILL", A1(0)})
+	tr.Start(dfill)
+	dels, _, err := tr.Complete(dfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 1 || dels[0].Bytes != 4096 {
+		t.Errorf("deliveries = %+v", dels)
+	}
+}
+
+func TestSortRefsDeterministic(t *testing.T) {
+	g := chainGraph(2, func(int) int { return 2 })
+	refs := []TaskRef{
+		{"SORT", A1(1)}, {"GEMM", A2(1, 0)}, {"DFILL", A1(0)},
+		{"GEMM", A2(0, 1)}, {"SORT", A1(0)},
+	}
+	g.SortRefs(refs)
+	want := []TaskRef{
+		{"DFILL", A1(0)}, {"GEMM", A2(0, 1)}, {"GEMM", A2(1, 0)},
+		{"SORT", A1(0)}, {"SORT", A1(1)},
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("SortRefs[%d] = %v, want %v", i, refs[i], want[i])
+		}
+	}
+}
+
+func TestArgsHelpers(t *testing.T) {
+	if A1(5) != (Args{5, 0, 0}) || A2(1, 2) != (Args{1, 2, 0}) || A3(1, 2, 3) != (Args{1, 2, 3}) {
+		t.Error("args constructors")
+	}
+	r := TaskRef{"GEMM", A2(1, 2)}
+	if r.String() != "GEMM(1,2,0)" {
+		t.Errorf("String = %q", r.String())
+	}
+	if Read.String() != "READ" || RW.String() != "RW" || Write.String() != "WRITE" {
+		t.Error("mode strings")
+	}
+}

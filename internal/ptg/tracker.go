@@ -1,0 +1,266 @@
+package ptg
+
+import "fmt"
+
+// InstState is the lifecycle state of a task instance.
+type InstState int
+
+const (
+	StateWaiting InstState = iota // some task-sourced inputs outstanding
+	StateReady                    // all inputs satisfied, not yet started
+	StateRunning                  // handed to an executor
+	StateDone                     // completed
+)
+
+func (s InstState) String() string {
+	return [...]string{"waiting", "ready", "running", "done"}[s]
+}
+
+// NewBuffer is the payload placed on a flow satisfied by an InNew
+// alternative: the task starts with a fresh buffer of the given size.
+// The real runtime's body allocates it; the simulator charges nothing.
+type NewBuffer struct{ Bytes int64 }
+
+// Instance is one task instance with its dataflow bookkeeping.
+type Instance struct {
+	Ref      TaskRef
+	Class    *TaskClass
+	Node     int
+	Priority int64
+	Seq      int // creation index; deterministic tie-breaker
+	State    InstState
+
+	// In holds the payload per flow index; nil for inactive flows and
+	// for task-sourced flows not yet delivered.
+	In        []any
+	delivered []bool
+	fromTask  []bool
+	pending   int
+}
+
+func (in *Instance) String() string {
+	return fmt.Sprintf("%v@n%d[%v]", in.Ref, in.Node, in.State)
+}
+
+// Delivery instructs the executor to move the payload produced on one of
+// a completed task's flows to a successor's input flow. The executor
+// performs the (possibly remote) transport, then calls Tracker.Deliver.
+type Delivery struct {
+	From     *Instance
+	FromFlow int // flow index on the producer
+	To       *Instance
+	ToFlow   int   // flow index on the consumer
+	Bytes    int64 // simulated payload size (0 if FlowBytes is nil)
+}
+
+// TerminalWrite reports that a completed task's flow is bound to a
+// terminal datum (an OutData dependency); the executor decides what, if
+// anything, to do (our CCSD bodies write Global Arrays themselves, so
+// executors typically treat this as informational).
+type TerminalWrite struct {
+	From     *Instance
+	FromFlow int
+	Data     DataRef
+}
+
+// Tracker materializes a graph's instances and tracks dataflow readiness.
+// It is the engine both executors drive: Complete(task) returns the
+// deliveries its outputs trigger; Deliver(payload) marks an input
+// satisfied and reports newly ready tasks. The tracker is not
+// goroutine-safe; concurrent executors must serialize access.
+type Tracker struct {
+	G         *Graph
+	instances map[TaskRef]*Instance
+	order     []*Instance
+	remaining int
+	completed int
+}
+
+// NewTracker validates the graph, enumerates every instance, resolves
+// input alternatives, and computes initial readiness.
+func NewTracker(g *Graph) (*Tracker, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tracker{G: g, instances: make(map[TaskRef]*Instance)}
+	for _, tc := range g.Classes() {
+		tc.Domain(func(a Args) {
+			ref := TaskRef{Class: tc.Name, Args: a}
+			if _, dup := t.instances[ref]; dup {
+				panic(fmt.Sprintf("ptg: domain of %s emits %v twice", tc.Name, a))
+			}
+			inst := &Instance{
+				Ref:       ref,
+				Class:     tc,
+				Seq:       len(t.order),
+				In:        make([]any, len(tc.Flows)),
+				delivered: make([]bool, len(tc.Flows)),
+				fromTask:  make([]bool, len(tc.Flows)),
+			}
+			if tc.Affinity != nil {
+				inst.Node = tc.Affinity(a)
+			}
+			if tc.Priority != nil {
+				inst.Priority = tc.Priority(a)
+			}
+			for fi, f := range tc.Flows {
+				dep, ok := matchIn(f, a)
+				if !ok {
+					continue // inactive flow
+				}
+				switch {
+				case dep.Producer != nil:
+					inst.fromTask[fi] = true
+					inst.pending++
+				case dep.Data != nil:
+					inst.In[fi] = dep.Data(a)
+					inst.delivered[fi] = true
+				case dep.New != nil:
+					inst.In[fi] = NewBuffer{Bytes: dep.New(a)}
+					inst.delivered[fi] = true
+				}
+			}
+			if inst.pending == 0 {
+				inst.State = StateReady
+			}
+			t.instances[ref] = inst
+			t.order = append(t.order, inst)
+		})
+	}
+	t.remaining = len(t.order)
+	return t, nil
+}
+
+// matchIn returns the first input alternative whose guard holds.
+func matchIn(f *Flow, a Args) (InDep, bool) {
+	for _, in := range f.Ins {
+		if in.Guard == nil || in.Guard(a) {
+			return in, true
+		}
+	}
+	return InDep{}, false
+}
+
+// NumInstances returns the total number of task instances.
+func (t *Tracker) NumInstances() int { return len(t.order) }
+
+// Remaining returns the number of instances not yet completed.
+func (t *Tracker) Remaining() int { return t.remaining }
+
+// Done reports whether every instance has completed.
+func (t *Tracker) Done() bool { return t.remaining == 0 }
+
+// Instance returns the instance for a reference, or nil.
+func (t *Tracker) Instance(ref TaskRef) *Instance { return t.instances[ref] }
+
+// Instances returns all instances in deterministic creation order.
+// Callers must not mutate the returned slice.
+func (t *Tracker) Instances() []*Instance { return t.order }
+
+// InitialReady returns the instances ready before any completions, in
+// deterministic creation order.
+func (t *Tracker) InitialReady() []*Instance {
+	var ready []*Instance
+	for _, in := range t.order {
+		if in.State == StateReady {
+			ready = append(ready, in)
+		}
+	}
+	return ready
+}
+
+// Start marks a ready instance as running. Executors call it when they
+// dequeue a task; it guards against double-scheduling.
+func (t *Tracker) Start(in *Instance) error {
+	if in.State != StateReady {
+		return fmt.Errorf("ptg: Start(%v) in state %v", in.Ref, in.State)
+	}
+	in.State = StateRunning
+	return nil
+}
+
+// Complete marks a running (or, for executors that skip Start, ready)
+// instance done and evaluates its output dependencies. It returns the
+// deliveries to perform and the terminal writes its flows are bound to.
+func (t *Tracker) Complete(in *Instance) ([]Delivery, []TerminalWrite, error) {
+	if in.State != StateRunning && in.State != StateReady {
+		return nil, nil, fmt.Errorf("ptg: Complete(%v) in state %v", in.Ref, in.State)
+	}
+	in.State = StateDone
+	t.remaining--
+	t.completed++
+	var dels []Delivery
+	var writes []TerminalWrite
+	a := in.Ref.Args
+	for fi, f := range in.Class.Flows {
+		for _, out := range f.Outs {
+			if out.Guard != nil && !out.Guard(a) {
+				continue
+			}
+			if out.Data != nil {
+				writes = append(writes, TerminalWrite{From: in, FromFlow: fi, Data: out.Data(a)})
+				continue
+			}
+			toRef, toFlowName := out.Consumer(a)
+			to := t.instances[toRef]
+			if to == nil {
+				return nil, nil, fmt.Errorf("ptg: %v flow %s targets nonexistent task %v", in.Ref, f.Name, toRef)
+			}
+			toFlow, ok := to.Class.FlowIndex(toFlowName)
+			if !ok {
+				return nil, nil, fmt.Errorf("ptg: %v flow %s targets nonexistent flow %s.%s", in.Ref, f.Name, toRef.Class, toFlowName)
+			}
+			var bytes int64
+			if in.Class.FlowBytes != nil {
+				bytes = in.Class.FlowBytes(a, f.Name)
+			}
+			if to.Class.InBytes != nil {
+				bytes = to.Class.InBytes(toRef.Args, toFlowName)
+			}
+			dels = append(dels, Delivery{From: in, FromFlow: fi, To: to, ToFlow: toFlow, Bytes: bytes})
+		}
+	}
+	return dels, writes, nil
+}
+
+// Deliver satisfies one task-sourced input of an instance with a payload.
+// It returns true if the instance became ready.
+func (t *Tracker) Deliver(to *Instance, flowIdx int, payload any) (bool, error) {
+	if to.State == StateDone || to.State == StateRunning {
+		return false, fmt.Errorf("ptg: Deliver to %v in state %v", to.Ref, to.State)
+	}
+	if flowIdx < 0 || flowIdx >= len(to.In) {
+		return false, fmt.Errorf("ptg: Deliver to %v flow %d out of range", to.Ref, flowIdx)
+	}
+	if !to.fromTask[flowIdx] {
+		return false, fmt.Errorf("ptg: Deliver to %v flow %s which has no task source",
+			to.Ref, to.Class.Flows[flowIdx].Name)
+	}
+	if to.delivered[flowIdx] {
+		return false, fmt.Errorf("ptg: duplicate delivery to %v flow %s",
+			to.Ref, to.Class.Flows[flowIdx].Name)
+	}
+	to.delivered[flowIdx] = true
+	to.In[flowIdx] = payload
+	to.pending--
+	if to.pending == 0 {
+		to.State = StateReady
+		return true, nil
+	}
+	return false, nil
+}
+
+// CheckQuiescent verifies the terminal invariant: every instance done.
+// It returns a descriptive error naming a stuck instance otherwise.
+func (t *Tracker) CheckQuiescent() error {
+	if t.remaining == 0 {
+		return nil
+	}
+	for _, in := range t.order {
+		if in.State != StateDone {
+			return fmt.Errorf("ptg: %d task(s) incomplete; first: %v (pending inputs: %d)",
+				t.remaining, in.Ref, in.pending)
+		}
+	}
+	return fmt.Errorf("ptg: remaining=%d but all instances done (accounting bug)", t.remaining)
+}

@@ -1,0 +1,381 @@
+// Package runtime executes a Parameterized Task Graph with real data on
+// shared-memory worker goroutines. It is the execution half of the
+// PaRSEC-style system for in-process use: an event-driven scheduler that
+// reacts to task completions by evaluating the PTG's dataflow (§II-B),
+// delivering payloads to successors, and dispatching newly ready tasks to
+// workers in priority order.
+//
+// The distributed, simulated-machine counterpart is internal/simexec;
+// both consume the same graphs.
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"parsec/internal/ptg"
+)
+
+// Policy selects how ready tasks are ordered.
+type Policy int
+
+const (
+	// PriorityOrder dispatches the highest-priority ready task first
+	// (ties broken by creation order). This is PaRSEC's behavior when the
+	// developer supplies priority expressions (§IV-C).
+	PriorityOrder Policy = iota
+	// LIFOOrder dispatches the most recently enqueued ready task first,
+	// ignoring priorities — the behavior the paper's v2 variant exhibits
+	// with no priorities set (§V, Fig 11).
+	LIFOOrder
+)
+
+func (p Policy) String() string {
+	if p == LIFOOrder {
+		return "lifo"
+	}
+	return "priority"
+}
+
+// QueueMode selects how ready tasks are distributed among workers,
+// mirroring internal/simexec: one shared queue (dynamic load balancing),
+// statically pinned per-worker queues, or pinned queues with stealing —
+// PaRSEC's per-thread queues correspond to PerWorkerSteal.
+type QueueMode int
+
+const (
+	SharedQueue QueueMode = iota
+	PerWorker
+	PerWorkerSteal
+)
+
+// Event records one task execution for tracing.
+type Event struct {
+	Task   ptg.TaskRef
+	Worker int
+	Start  time.Duration // since Run began
+	End    time.Duration
+}
+
+// Config controls a run.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	Policy  Policy
+	// Queues selects the ready-queue structure (default SharedQueue).
+	Queues QueueMode
+	// Observer, if set, receives an Event after each task completes.
+	// Called concurrently from workers; must be safe.
+	Observer func(Event)
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Tasks    int
+	ByClass  map[string]int
+	Workers  int
+	Elapsed  time.Duration
+	BusyTime time.Duration // summed task execution time across workers
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%d tasks on %d workers in %v (busy %v)", r.Tasks, r.Workers, r.Elapsed, r.BusyTime)
+}
+
+// readyHeap orders instances by descending priority, then ascending
+// creation sequence.
+type readyHeap []*ptg.Instance
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*ptg.Instance)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the graph to completion and returns a report. Execution is
+// aborted with an error if a task body panics or the graph deadlocks.
+func Run(g *ptg.Graph, cfg Config) (Report, error) {
+	tr, err := ptg.NewTracker(g)
+	if err != nil {
+		return Report{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	r := &runner{
+		tr:           tr,
+		cfg:          cfg,
+		byClass:      make(map[string]int),
+		workersCount: workers,
+		start:        time.Now(),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	if cfg.Queues != SharedQueue {
+		r.perWorker = make([]readyHeap, workers)
+	}
+	for _, in := range tr.InitialReady() {
+		r.enqueueLocked(in)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.work(id)
+		}(w)
+	}
+	wg.Wait()
+
+	if r.err == nil {
+		if qerr := tr.CheckQuiescent(); qerr != nil {
+			r.err = qerr
+		}
+	}
+	rep := Report{
+		Tasks:    tr.NumInstances() - tr.Remaining(),
+		ByClass:  r.byClass,
+		Workers:  workers,
+		Elapsed:  time.Since(r.start),
+		BusyTime: r.busy,
+	}
+	return rep, r.err
+}
+
+type runner struct {
+	tr  *ptg.Tracker
+	cfg Config
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	heap         readyHeap // SharedQueue + PriorityOrder
+	stack        []*ptg.Instance
+	perWorker    []readyHeap // PerWorker / PerWorkerSteal
+	idle         int
+	inflight     int // tasks between Start and Complete
+	workersCount int
+	stopped      bool
+	err          error
+
+	byClass map[string]int
+	busy    time.Duration
+	start   time.Time
+}
+
+func (r *runner) enqueueLocked(in *ptg.Instance) {
+	switch {
+	case r.cfg.Queues != SharedQueue:
+		w := in.Seq % len(r.perWorker)
+		heap.Push(&r.perWorker[w], in)
+		// The pinned (or stealing) worker may be any of the sleepers.
+		r.cond.Broadcast()
+		return
+	case r.cfg.Policy == LIFOOrder:
+		r.stack = append(r.stack, in)
+	default:
+		heap.Push(&r.heap, in)
+	}
+	r.cond.Signal()
+}
+
+// dequeueLocked pops the next task for the given worker.
+func (r *runner) dequeueLocked(wid int) *ptg.Instance {
+	if r.cfg.Queues != SharedQueue {
+		if len(r.perWorker[wid]) > 0 {
+			return heap.Pop(&r.perWorker[wid]).(*ptg.Instance)
+		}
+		if r.cfg.Queues == PerWorkerSteal {
+			best := -1
+			for w := range r.perWorker {
+				if len(r.perWorker[w]) == 0 {
+					continue
+				}
+				if best < 0 || taskBefore(r.perWorker[w][0], r.perWorker[best][0]) {
+					best = w
+				}
+			}
+			if best >= 0 {
+				return heap.Pop(&r.perWorker[best]).(*ptg.Instance)
+			}
+		}
+		return nil
+	}
+	if r.cfg.Policy == LIFOOrder {
+		if n := len(r.stack); n > 0 {
+			in := r.stack[n-1]
+			r.stack[n-1] = nil
+			r.stack = r.stack[:n-1]
+			return in
+		}
+		return nil
+	}
+	if len(r.heap) > 0 {
+		return heap.Pop(&r.heap).(*ptg.Instance)
+	}
+	return nil
+}
+
+// taskBefore reports whether a should run before b.
+func taskBefore(a, b *ptg.Instance) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Seq < b.Seq
+}
+
+// queueLenLocked returns the number of queued ready tasks visible to any
+// worker (used only for termination/deadlock detection).
+func (r *runner) queueLenLocked() int {
+	if r.cfg.Queues != SharedQueue {
+		n := 0
+		for w := range r.perWorker {
+			n += len(r.perWorker[w])
+		}
+		return n
+	}
+	if r.cfg.Policy == LIFOOrder {
+		return len(r.stack)
+	}
+	return len(r.heap)
+}
+
+// availableLocked reports whether worker wid could obtain a task now.
+func (r *runner) availableLocked(wid int) bool {
+	if r.cfg.Queues == PerWorker {
+		return len(r.perWorker[wid]) > 0
+	}
+	return r.queueLenLocked() > 0
+}
+
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *runner) work(id int) {
+	for {
+		r.mu.Lock()
+		for !r.availableLocked(id) && !r.stopped {
+			if r.tr.Done() {
+				r.stopped = true
+				r.cond.Broadcast()
+				break
+			}
+			r.idle++
+			// Deadlock check: every worker idle, nothing queued, tasks
+			// remaining. (A running task elsewhere keeps idle < workers.)
+			if r.idle == workersOf(r) && r.queueLenLocked() == 0 && !r.tr.Done() && r.inflight == 0 {
+				r.err = fmt.Errorf("runtime: deadlock with %d tasks remaining", r.tr.Remaining())
+				r.stopped = true
+				r.cond.Broadcast()
+				r.idle--
+				break
+			}
+			r.cond.Wait()
+			r.idle--
+		}
+		if r.stopped && !r.availableLocked(id) {
+			r.mu.Unlock()
+			return
+		}
+		in := r.dequeueLocked(id)
+		if in == nil {
+			r.mu.Unlock()
+			continue
+		}
+		if err := r.tr.Start(in); err != nil {
+			r.mu.Unlock()
+			r.fail(err)
+			return
+		}
+		r.inflight++
+		r.mu.Unlock()
+
+		if err := r.execute(id, in); err != nil {
+			r.mu.Lock()
+			r.inflight--
+			r.mu.Unlock()
+			r.fail(err)
+			return
+		}
+		r.mu.Lock()
+		r.inflight--
+		r.mu.Unlock()
+	}
+}
+
+func workersOf(r *runner) int { return r.workersCount }
+
+func (r *runner) execute(worker int, in *ptg.Instance) error {
+	ctx := &ptg.Ctx{
+		Args: in.Ref.Args,
+		Node: in.Node,
+		In:   in.In,
+		Out:  make([]any, len(in.In)),
+	}
+	copy(ctx.Out, in.In)
+	t0 := time.Now()
+	if body := in.Class.Body; body != nil {
+		if err := safeBody(body, ctx, in); err != nil {
+			return err
+		}
+	}
+	dur := time.Since(t0)
+
+	r.mu.Lock()
+	r.busy += dur
+	r.byClass[in.Ref.Class]++
+	dels, _, err := r.tr.Complete(in)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	for _, d := range dels {
+		ready, derr := r.tr.Deliver(d.To, d.ToFlow, ctx.Out[d.FromFlow])
+		if derr != nil {
+			r.mu.Unlock()
+			return derr
+		}
+		if ready {
+			r.enqueueLocked(d.To)
+		}
+	}
+	r.mu.Unlock()
+
+	if obs := r.cfg.Observer; obs != nil {
+		obs(Event{Task: in.Ref, Worker: worker, Start: t0.Sub(r.start), End: t0.Add(dur).Sub(r.start)})
+	}
+	return nil
+}
+
+func safeBody(body func(*ptg.Ctx), ctx *ptg.Ctx, in *ptg.Instance) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("runtime: task %v panicked: %v", in.Ref, rec)
+		}
+	}()
+	body(ctx)
+	return nil
+}

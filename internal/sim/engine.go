@@ -1,0 +1,316 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing events from a priority
+// queue ordered by (time, sequence number). Two kinds of activity exist:
+//
+//   - callbacks: plain functions scheduled with Engine.Schedule, executed
+//     inline on the engine goroutine; they must not block.
+//   - processes: sequential activities (Proc) started with Engine.Go that
+//     may hold virtual time (Proc.Hold), wait on queues, and use resources.
+//     Exactly one process runs at any instant, so simulations are
+//     bit-reproducible for a fixed seed and program.
+//
+// The engine is the substrate for the simulated cluster on which the
+// reproduced CCSD experiments execute (see internal/cluster and
+// internal/simexec).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts a floating-point number of seconds to a virtual
+// duration, rounding to the nearest nanosecond. Negative and non-finite
+// inputs are clamped to zero.
+func Duration(seconds float64) Time {
+	if seconds <= 0 || math.IsNaN(seconds) || math.IsInf(seconds, 1) {
+		return 0
+	}
+	return Time(math.Round(seconds * float64(Second)))
+}
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled occurrence. Exactly one of fn and proc is set.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	proc      *Proc
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	yield   chan struct{}
+	running bool
+	stopped bool
+
+	liveProcs    int
+	blockedProcs map[*Proc]struct{}
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:        make(chan struct{}),
+		blockedProcs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after the given virtual delay. fn executes inline on the
+// engine goroutine and must not block. A negative delay is treated as zero.
+// The returned handle may be used to cancel the event before it fires.
+func (e *Engine) Schedule(delay Time, fn func()) *EventHandle {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.nextSeq(), fn: fn}
+	heap.Push(&e.heap, ev)
+	return &EventHandle{ev: ev}
+}
+
+// EventHandle allows cancelling a scheduled callback.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h *EventHandle) Cancel() {
+	if h != nil && h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether the handle was cancelled before firing.
+func (h *EventHandle) Cancelled() bool { return h != nil && h.ev != nil && h.ev.cancelled }
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Stop terminates Run after the current event completes. Pending events are
+// discarded; blocked processes are abandoned (their goroutines are released
+// with a panic that Run recovers into cleanup).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Proc is a simulated sequential process. All Proc methods must be called
+// from the process's own body function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	killed bool
+	wake   *event // pending wake event while sleeping, nil while runnable
+}
+
+// Name returns the name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+type procKilled struct{}
+
+// Go starts a new simulated process executing body. The process begins at
+// the current virtual time, after all events already scheduled for this
+// instant.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.liveProcs++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	ev := &event{at: e.now, seq: e.nextSeq(), proc: p}
+	heap.Push(&e.heap, ev)
+	return p
+}
+
+// block suspends the process until the engine resumes it.
+func (p *Proc) block() {
+	p.eng.blockedProcs[p] = struct{}{}
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Hold advances the process's local time by d virtual nanoseconds.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: p.eng.now + d, seq: p.eng.nextSeq(), proc: p}
+	heap.Push(&p.eng.heap, ev)
+	p.wake = ev
+	p.block()
+}
+
+// wakeAt schedules the process to resume at the given absolute time.
+// The process must currently be blocked on a queue (not sleeping).
+func (e *Engine) wakeAt(p *Proc, at Time) {
+	if p.wake != nil && !p.wake.cancelled {
+		return // already scheduled
+	}
+	ev := &event{at: at, seq: e.nextSeq(), proc: p}
+	heap.Push(&e.heap, ev)
+	p.wake = ev
+}
+
+// resumeProc hands control to p and waits until it blocks or finishes.
+func (e *Engine) resumeProc(p *Proc) {
+	delete(e.blockedProcs, p)
+	p.wake = nil
+	p.resume <- struct{}{}
+	<-e.yield
+	if p.done {
+		e.liveProcs--
+	}
+}
+
+// Run executes events until the queue is empty, Stop is called, or the
+// clock would pass horizon (horizon <= 0 means no limit). It returns the
+// final virtual time and an error if processes remain blocked with no
+// pending events (a simulation deadlock).
+func (e *Engine) Run(horizon Time) (Time, error) {
+	if e.running {
+		return e.now, fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 && !e.stopped {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			e.killBlocked()
+			return e.now, nil
+		}
+		if ev.at < e.now {
+			return e.now, fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.now)
+		}
+		e.now = ev.at
+		if ev.proc != nil {
+			e.resumeProc(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if e.stopped {
+		e.killBlocked()
+		return e.now, nil
+	}
+	if n := len(e.blockedProcs); n > 0 {
+		names := make([]string, 0, n)
+		for p := range e.blockedProcs {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		e.killBlocked()
+		return e.now, fmt.Errorf("sim: deadlock, %d process(es) blocked forever: %v", n, names)
+	}
+	return e.now, nil
+}
+
+// killBlocked releases the goroutines of any still-blocked processes so
+// they do not leak after Run returns.
+func (e *Engine) killBlocked() {
+	for p := range e.blockedProcs {
+		p.killed = true
+		e.resumeProc(p)
+	}
+	// Drain events for processes that were sleeping (their wake events may
+	// still reference them); they are now done, so just discard the heap.
+	e.heap = e.heap[:0]
+	e.blockedProcs = make(map[*Proc]struct{})
+}
+
+// LiveProcs returns the number of processes that have started and not yet
+// finished. Intended for tests and diagnostics.
+func (e *Engine) LiveProcs() int { return e.liveProcs }
+
+// PendingEvents returns the number of events currently scheduled,
+// including cancelled-but-unpopped ones. Intended for tests.
+func (e *Engine) PendingEvents() int { return len(e.heap) }

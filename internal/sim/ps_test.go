@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSSingleFlow(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 1e9) // 1 GB/s
+	var end Time
+	e.Go("p", func(p *Proc) {
+		ps.Use(p, 1e6) // 1 MB
+		end = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := Millisecond
+	if diff := end - want; diff < -10 || diff > 10 {
+		t.Errorf("1MB at 1GB/s took %v, want ~%v", end, want)
+	}
+}
+
+func TestPSFairSharing(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 1e9)
+	ends := map[string]Time{}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			ps.Use(p, 1e6)
+			ends[name] = p.Now()
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Two equal flows sharing capacity both finish at ~2ms.
+	for name, end := range ends {
+		if diff := end - 2*Millisecond; diff < -20 || diff > 20 {
+			t.Errorf("flow %s ended at %v, want ~2ms", name, end)
+		}
+	}
+}
+
+func TestPSLateJoiner(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 1e9)
+	var endA, endB Time
+	e.Go("a", func(p *Proc) {
+		ps.Use(p, 2e6)
+		endA = p.Now()
+	})
+	e.Go("b", func(p *Proc) {
+		p.Hold(Millisecond)
+		ps.Use(p, 1e6)
+		endB = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// a runs alone for 1ms (1MB done), then shares for 2ms (1MB more each):
+	// a ends at 3ms with its 2MB; b ends at 3ms with its 1MB.
+	for _, c := range []struct {
+		name string
+		got  Time
+		want Time
+	}{{"a", endA, 3 * Millisecond}, {"b", endB, 3 * Millisecond}} {
+		if diff := c.got - c.want; diff < -50 || diff > 50 {
+			t.Errorf("%s ended at %v, want ~%v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestPSZeroAmountImmediate(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 1e9)
+	e.Go("p", func(p *Proc) {
+		ps.Use(p, 0)
+		ps.Use(p, -5)
+		if p.Now() != 0 {
+			t.Errorf("zero-amount Use advanced time to %v", p.Now())
+		}
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSManyFlowsConservation(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 1e8)
+	const n = 20
+	const amount = 1e6
+	var latest Time
+	for i := 0; i < n; i++ {
+		e.Go(fmt.Sprintf("f%d", i), func(p *Proc) {
+			ps.Use(p, amount)
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Total work n*amount at capacity 1e8/s -> 200ms regardless of sharing.
+	want := Duration(n * amount / 1e8)
+	if diff := latest - want; diff < -Microsecond || diff > Microsecond {
+		t.Errorf("makespan %v, want ~%v", latest, want)
+	}
+	if got := ps.TotalUnits(); math.Abs(got-n*amount) > 1 {
+		t.Errorf("TotalUnits = %v, want %v", got, n*amount)
+	}
+}
+
+func TestPSBusyTime(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 1e9)
+	e.Go("p", func(p *Proc) {
+		p.Hold(Millisecond) // idle gap first
+		ps.Use(p, 1e6)      // 1ms busy
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if b := ps.BusyTime(); b < 900*Microsecond || b > 1100*Microsecond {
+		t.Errorf("BusyTime = %v, want ~1ms", b)
+	}
+}
+
+func TestPSTimeFor(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "bw", 2e9)
+	if got := ps.TimeFor(2e9); got != Second {
+		t.Errorf("TimeFor = %v, want 1s", got)
+	}
+}
+
+// Property: makespan of any batch of flows started together equals
+// total/capacity (work conservation), and every flow sees a duration of at
+// least its uncontended time.
+func TestPropertyPSWorkConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 32 {
+			return true
+		}
+		e := NewEngine()
+		cap := 1e6
+		ps := NewPS(e, "bw", cap)
+		var total float64
+		var latest Time
+		ok := true
+		for i, s := range sizes {
+			amount := float64(s) + 1
+			total += amount
+			minT := ps.TimeFor(amount)
+			e.Go(fmt.Sprintf("f%d", i), func(p *Proc) {
+				start := p.Now()
+				ps.Use(p, amount)
+				el := p.Now() - start
+				if el < minT-10*Microsecond {
+					ok = false
+				}
+				if p.Now() > latest {
+					latest = p.Now()
+				}
+			})
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		want := Duration(total / cap)
+		if latest < want-Millisecond || latest > want+Millisecond {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSPerFlowCap(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "gemm", 100) // capacity 100 units/s
+	ps.SetPerFlowCap(10)        // but one flow can only draw 10
+	var end Time
+	e.Go("p", func(p *Proc) {
+		ps.Use(p, 10) // 10 units at 10/s -> 1s, not 0.1s
+		end = p.Now()
+	})
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if end < 990*Millisecond || end > 1010*Millisecond {
+		t.Errorf("capped flow took %v, want ~1s", end)
+	}
+}
+
+func TestPSContentionModel(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "gemm", 1) // capacity ignored under contention
+	ps.SetPerFlowCap(10)
+	ps.SetContention(0.5)
+	// Two concurrent flows: each at 10/(1+0.5) = 6.67/s; 10 units -> 1.5s.
+	var ends [2]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			ps.Use(p, 10)
+			ends[i] = p.Now()
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, end := range ends {
+		if end < 1490*Millisecond || end > 1510*Millisecond {
+			t.Errorf("flow %d ended at %v, want ~1.5s", i, end)
+		}
+	}
+}
+
+func TestPSContentionAboveOneDegradesAggregate(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "gasrv", 1)
+	ps.SetPerFlowCap(10)
+	ps.SetContention(2) // aggregate falls with load
+	var latest Time
+	const n = 4
+	for i := 0; i < n; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			ps.Use(p, 10)
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Four flows at 10/(1+2*3) = 10/7 each: 10 units take 7s; aggregate
+	// 40/7 = 5.7/s < the 10/s a single flow would get.
+	if latest < 6900*Millisecond || latest > 7100*Millisecond {
+		t.Errorf("overloaded makespan %v, want ~7s", latest)
+	}
+}
+
+func TestPSSetupPanics(t *testing.T) {
+	e := NewEngine()
+	ps := NewPS(e, "x", 1)
+	for _, fn := range []func(){
+		func() { ps.SetContention(0.5) }, // requires per-flow cap first
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64).
+// It exists so that simulation results are bit-reproducible across Go
+// releases, independent of math/rand's evolving algorithms.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+// It is used to perturb modeled task durations so that simulated load
+// imbalance resembles real machine noise.
+func (r *RNG) Jitter(d Time, frac float64) Time {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return Duration(d.Seconds() * f)
+}

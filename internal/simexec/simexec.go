@@ -1,0 +1,434 @@
+// Package simexec executes a Parameterized Task Graph on the simulated
+// distributed-memory cluster. It reproduces the execution architecture of
+// PaRSEC on a real machine (§II-B, §V):
+//
+//   - every node runs a fixed set of worker "threads" (simulated
+//     processes) sharing one ready queue — the paper's dynamic work
+//     stealing within a node (§IV-D);
+//   - every node runs one dedicated communication thread; tasks never
+//     communicate directly, they express dataflow and the comm thread
+//     issues the transfers (§V: "data transfer calls are issued by a
+//     specialized communication thread that runs on a dedicated core");
+//   - ready tasks are dispatched by priority (PriorityOrder) or most
+//     recently produced first (LIFOOrder, the no-priorities behavior of
+//     variant v2).
+//
+// Task durations are charged against the machine model (internal/cluster)
+// from each class's Cost function or a registered Behavior; payload sizes
+// for transfers come from FlowBytes. Everything else — which task runs
+// when, what messages fly where — is the real runtime logic driven by the
+// real tracker (internal/ptg).
+package simexec
+
+import (
+	"container/heap"
+	"fmt"
+
+	"parsec/internal/cluster"
+	"parsec/internal/ga"
+	"parsec/internal/ptg"
+	"parsec/internal/sim"
+	"parsec/internal/trace"
+)
+
+// Policy selects ready-task ordering, as in internal/runtime.
+type Policy int
+
+const (
+	PriorityOrder Policy = iota
+	LIFOOrder
+)
+
+// QueueMode selects how ready tasks are distributed among a node's
+// workers — the §IV-D design point ("dynamic work stealing within each
+// node").
+type QueueMode int
+
+const (
+	// SharedQueue gives each node one ready queue drained by all its
+	// workers: the intra-node dynamic load balancing PaRSEC uses.
+	SharedQueue QueueMode = iota
+	// PerWorker statically assigns each ready task to one worker's
+	// private queue; idle workers do not steal (the ablation baseline).
+	PerWorker
+	// PerWorkerSteal assigns tasks as PerWorker but lets an idle worker
+	// steal the best ready task from a sibling's queue.
+	PerWorkerSteal
+)
+
+// Payload is the simulated datum moved along graph edges.
+type Payload struct{ Bytes int64 }
+
+// TaskCtx is handed to behaviors.
+type TaskCtx struct {
+	P    *sim.Proc
+	M    *cluster.Machine
+	GA   *ga.Sim
+	Inst *ptg.Instance
+	Node int
+}
+
+// ActiveInputs returns the payloads of the instance's satisfied
+// task-sourced flows, in flow order.
+func (c *TaskCtx) ActiveInputs() []Payload {
+	var ps []Payload
+	for _, in := range c.Inst.In {
+		if p, ok := in.(Payload); ok {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// Behavior simulates a task class's execution beyond a plain Cost charge
+// (e.g. Global Arrays interactions, mutex-protected critical sections).
+type Behavior func(ctx *TaskCtx)
+
+// Config controls a simulated run.
+type Config struct {
+	CoresPerNode int // worker threads per node (comm thread is extra)
+	Policy       Policy
+	// Queues selects the intra-node scheduling structure (default
+	// SharedQueue).
+	Queues QueueMode
+	// Behaviors overrides execution per class name; classes without an
+	// entry charge their Cost function.
+	Behaviors map[string]Behavior
+	// Trace, if non-nil, receives one event per task execution.
+	Trace *trace.Trace
+	// Horizon aborts the simulation after this much virtual time
+	// (0 = unlimited).
+	Horizon sim.Time
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	Makespan sim.Time
+	Tasks    int
+	ByClass  map[string]int
+	// BytesSent is the total payload volume moved between distinct nodes.
+	BytesSent int64
+	// Transfers is the number of inter-node deliveries.
+	Transfers int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("makespan=%v tasks=%d transfers=%d (%.1f MB)",
+		r.Makespan, r.Tasks, r.Transfers, float64(r.BytesSent)/1e6)
+}
+
+// Run executes the graph on the machine and returns the result. The
+// machine's engine must be fresh (time zero) and is run to completion.
+func Run(g *ptg.Graph, m *cluster.Machine, gasim *ga.Sim, cfg Config) (Result, error) {
+	tr, err := ptg.NewTracker(g)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.CoresPerNode <= 0 {
+		return Result{}, fmt.Errorf("simexec: CoresPerNode = %d", cfg.CoresPerNode)
+	}
+	ex := &executor{
+		tr:    tr,
+		m:     m,
+		ga:    gasim,
+		cfg:   cfg,
+		nodes: make([]*nodeState, m.Cfg.Nodes),
+		res:   Result{ByClass: make(map[string]int)},
+	}
+	for n := range ex.nodes {
+		ex.nodes[n] = &nodeState{
+			workersIdle: sim.NewWaitQ(m.Eng),
+			commIdle:    sim.NewWaitQ(m.Eng),
+		}
+		if cfg.Queues != SharedQueue {
+			ex.nodes[n].perWorker = make([]taskHeap, cfg.CoresPerNode)
+		}
+	}
+	// Seed initial ready tasks.
+	for _, in := range tr.InitialReady() {
+		ex.enqueue(in)
+	}
+	// Start workers and comm threads.
+	for n := 0; n < m.Cfg.Nodes; n++ {
+		n := n
+		for w := 0; w < cfg.CoresPerNode; w++ {
+			w := w
+			m.Eng.Go(fmt.Sprintf("n%d.w%d", n, w), func(p *sim.Proc) { ex.worker(p, n, w) })
+		}
+		m.Eng.Go(fmt.Sprintf("n%d.comm", n), func(p *sim.Proc) { ex.comm(p, n) })
+	}
+	end, err := m.Eng.Run(cfg.Horizon)
+	if err != nil {
+		return Result{}, fmt.Errorf("simexec: %w", err)
+	}
+	if ex.err != nil {
+		return Result{}, ex.err
+	}
+	if qerr := tr.CheckQuiescent(); qerr != nil {
+		return Result{}, qerr
+	}
+	ex.res.Makespan = end
+	ex.res.Tasks = tr.NumInstances()
+	return ex.res, nil
+}
+
+// transfer is one pending inter-node delivery handled by a comm thread.
+type transfer struct {
+	del     ptg.Delivery
+	payload Payload
+}
+
+// nodeState is the per-node scheduler state. The DES runs one process at
+// a time, so no locking is needed.
+type nodeState struct {
+	readyHeap   taskHeap
+	readyStack  []*ptg.Instance
+	perWorker   []taskHeap // QueueMode PerWorker*: one heap per worker
+	workersIdle *sim.WaitQ
+	commQ       []transfer
+	commIdle    *sim.WaitQ
+}
+
+type executor struct {
+	tr    *ptg.Tracker
+	m     *cluster.Machine
+	ga    *ga.Sim
+	cfg   Config
+	nodes []*nodeState
+	res   Result
+	done  bool
+	err   error
+}
+
+type taskHeap []*ptg.Instance
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*ptg.Instance)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+func (ex *executor) fail(err error) {
+	if ex.err == nil {
+		ex.err = err
+	}
+	ex.m.Eng.Stop()
+}
+
+// enqueue adds a ready task to its node's queue and wakes a worker.
+func (ex *executor) enqueue(in *ptg.Instance) {
+	node := in.Node
+	if node < 0 || node >= len(ex.nodes) {
+		ex.fail(fmt.Errorf("simexec: %v has affinity %d outside machine", in.Ref, node))
+		return
+	}
+	ns := ex.nodes[node]
+	switch {
+	case ex.cfg.Queues != SharedQueue:
+		w := in.Seq % len(ns.perWorker)
+		heap.Push(&ns.perWorker[w], in)
+	case ex.cfg.Policy == LIFOOrder:
+		ns.readyStack = append(ns.readyStack, in)
+	default:
+		heap.Push(&ns.readyHeap, in)
+	}
+	if ex.cfg.Queues == SharedQueue {
+		ns.workersIdle.WakeOne()
+	} else {
+		// Wake everyone: the task is pinned to (or stealable by) a
+		// specific worker that WakeOne might miss.
+		ns.workersIdle.WakeAll()
+	}
+}
+
+// dequeueFor pops the next task for a specific worker, honoring the
+// queue mode (stealing from siblings when allowed).
+func (ex *executor) dequeueFor(node, wid int) *ptg.Instance {
+	ns := ex.nodes[node]
+	if ex.cfg.Queues == SharedQueue {
+		return ex.dequeue(node)
+	}
+	if len(ns.perWorker[wid]) > 0 {
+		return heap.Pop(&ns.perWorker[wid]).(*ptg.Instance)
+	}
+	if ex.cfg.Queues == PerWorkerSteal {
+		// Steal the highest-priority ready task among the siblings.
+		best := -1
+		for w := range ns.perWorker {
+			if len(ns.perWorker[w]) == 0 {
+				continue
+			}
+			if best < 0 || taskBefore(ns.perWorker[w][0], ns.perWorker[best][0]) {
+				best = w
+			}
+		}
+		if best >= 0 {
+			return heap.Pop(&ns.perWorker[best]).(*ptg.Instance)
+		}
+	}
+	return nil
+}
+
+// taskBefore reports whether a should run before b.
+func taskBefore(a, b *ptg.Instance) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Seq < b.Seq
+}
+
+func (ex *executor) dequeue(node int) *ptg.Instance {
+	ns := ex.nodes[node]
+	if ex.cfg.Policy == LIFOOrder {
+		if n := len(ns.readyStack); n > 0 {
+			in := ns.readyStack[n-1]
+			ns.readyStack[n-1] = nil
+			ns.readyStack = ns.readyStack[:n-1]
+			return in
+		}
+		return nil
+	}
+	if len(ns.readyHeap) > 0 {
+		return heap.Pop(&ns.readyHeap).(*ptg.Instance)
+	}
+	return nil
+}
+
+// worker is the main loop of one compute thread.
+func (ex *executor) worker(p *sim.Proc, node, wid int) {
+	ns := ex.nodes[node]
+	for {
+		in := ex.dequeueFor(node, wid)
+		if in == nil {
+			if ex.done {
+				return
+			}
+			ns.workersIdle.Wait(p)
+			continue
+		}
+		if err := ex.tr.Start(in); err != nil {
+			ex.fail(err)
+			return
+		}
+		start := p.Now()
+		ex.execute(p, node, in)
+		if ex.err != nil {
+			return
+		}
+		if ex.cfg.Trace != nil {
+			ex.cfg.Trace.Add(trace.Event{
+				Node: node, Thread: wid,
+				Class: in.Ref.Class, Label: in.Ref.String(),
+				Start: int64(start), End: int64(p.Now()),
+			})
+		}
+		ex.complete(in)
+		if ex.err != nil {
+			return
+		}
+	}
+}
+
+// execute charges the task's simulated duration.
+func (ex *executor) execute(p *sim.Proc, node int, in *ptg.Instance) {
+	if b, ok := ex.cfg.Behaviors[in.Ref.Class]; ok {
+		b(&TaskCtx{P: p, M: ex.m, GA: ex.ga, Inst: in, Node: node})
+		return
+	}
+	if in.Class.Cost != nil {
+		c := in.Class.Cost(in.Ref.Args)
+		if c.GemmBytes > 0 || (c.Flops > 0 && in.Ref.Class == "GEMM") {
+			ex.m.Gemm(p, node, c.Flops, c.GemmBytes)
+			if c.MemBytes > 0 {
+				ex.m.MemOp(p, node, c.MemBytes, c.Warm)
+			}
+			return
+		}
+		ex.m.Compute(p, node, c.Flops, c.MemBytes, c.Warm)
+	}
+}
+
+// complete evaluates the finished task's dataflow: local deliveries are
+// immediate, remote ones are queued on this node's communication thread.
+func (ex *executor) complete(in *ptg.Instance) {
+	dels, _, err := ex.tr.Complete(in)
+	if err != nil {
+		ex.fail(err)
+		return
+	}
+	ex.res.ByClass[in.Ref.Class]++
+	for _, d := range dels {
+		pl := Payload{Bytes: d.Bytes}
+		if d.To.Node == in.Node {
+			ex.deliver(d, pl)
+		} else {
+			ns := ex.nodes[in.Node]
+			ns.commQ = append(ns.commQ, transfer{del: d, payload: pl})
+			ns.commIdle.WakeOne()
+		}
+	}
+	ex.checkDone()
+}
+
+// deliver satisfies the consumer's input and enqueues it if it became
+// ready.
+func (ex *executor) deliver(d ptg.Delivery, pl Payload) {
+	ready, err := ex.tr.Deliver(d.To, d.ToFlow, pl)
+	if err != nil {
+		ex.fail(err)
+		return
+	}
+	if ready {
+		ex.enqueue(d.To)
+	}
+}
+
+// comm is the main loop of one node's communication thread: it serves
+// queued transfers in FIFO order, one at a time, charging network latency
+// and this node's NIC injection bandwidth per payload.
+func (ex *executor) comm(p *sim.Proc, node int) {
+	ns := ex.nodes[node]
+	for {
+		if len(ns.commQ) == 0 {
+			if ex.done {
+				return
+			}
+			ns.commIdle.Wait(p)
+			continue
+		}
+		t := ns.commQ[0]
+		ns.commQ = ns.commQ[:copy(ns.commQ, ns.commQ[1:])]
+		ex.m.Transfer(p, node, t.del.To.Node, t.payload.Bytes)
+		ex.res.BytesSent += t.payload.Bytes
+		ex.res.Transfers++
+		ex.deliver(t.del, t.payload)
+		if ex.err != nil {
+			return
+		}
+	}
+}
+
+// checkDone wakes every parked process once all tasks completed so the
+// simulation can drain.
+func (ex *executor) checkDone() {
+	if ex.done || !ex.tr.Done() {
+		return
+	}
+	ex.done = true
+	for _, ns := range ex.nodes {
+		ns.workersIdle.WakeAll()
+		ns.commIdle.WakeAll()
+	}
+}

@@ -1,0 +1,188 @@
+package tce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GemmMeta is one entry of the inspection phase's metadata arrays: the
+// iteration vector of a GEMM, the blocks it touches, and — once the
+// Global Arrays library has been queried — the node that owns each block
+// (§III-B: "we store the pointers to the data ... as well as the
+// iteration vector into a meta-data array").
+type GemmMeta struct {
+	Op           GemmOp
+	ANode, BNode int // owners of the input blocks (-1 if no locator)
+}
+
+// ChainMeta groups the metadata of one chain of GEMMs.
+type ChainMeta struct {
+	ID      int
+	Out     BlockRef
+	OutNode int    // owner of the output block (-1 if no locator)
+	CDims   [4]int // GEMM-layout dims (p3, h1, p4, h2)
+	Gemms   []GemmMeta
+	Sorts   []SortOp
+}
+
+// CBytes returns the size of the chain's C buffer in bytes.
+func (c *ChainMeta) CBytes() int64 {
+	return int64(c.CDims[0]*c.CDims[1]*c.CDims[2]*c.CDims[3]) * 8
+}
+
+// Flops returns the total GEMM flops of the chain.
+func (c *ChainMeta) Flops() int64 {
+	var f int64
+	for _, g := range c.Gemms {
+		f += g.Op.Flops()
+	}
+	return f
+}
+
+// Workload is the result of the inspection phase: everything PaRSEC needs
+// to instantiate the task graph — the number of chains (size_L1 in
+// Fig 1), the length of each chain (size_L2), and per-GEMM block
+// locations. It also serves the CGP baseline, which consumes chains as
+// whole units of work.
+type Workload struct {
+	Kernel *Kernel
+	Chains []*ChainMeta
+}
+
+// Locator maps a block to the node that owns its Global Array storage.
+type Locator func(BlockRef) int
+
+// inspector is the Emitter that fills the metadata arrays. It is the
+// "slice of the original code that contains all the control flow
+// statements but none of the subroutine calls" (§III-B).
+type inspector struct {
+	w   *Workload
+	loc Locator
+	cur *ChainMeta
+}
+
+func (in *inspector) locate(b BlockRef) int {
+	if in.loc == nil {
+		return -1
+	}
+	return in.loc(b)
+}
+
+func (in *inspector) StartChain(chain int, out BlockRef, cdims [4]int) {
+	in.cur = &ChainMeta{ID: chain, Out: out, OutNode: in.locate(out), CDims: cdims}
+}
+
+func (in *inspector) Gemm(chain, pos int, g GemmOp) {
+	if in.cur == nil || in.cur.ID != chain {
+		panic(fmt.Sprintf("tce: Gemm for chain %d outside StartChain", chain))
+	}
+	if pos != len(in.cur.Gemms) {
+		panic(fmt.Sprintf("tce: GEMM position %d, expected %d", pos, len(in.cur.Gemms)))
+	}
+	in.cur.Gemms = append(in.cur.Gemms, GemmMeta{
+		Op:    g,
+		ANode: in.locate(g.A),
+		BNode: in.locate(g.B),
+	})
+}
+
+func (in *inspector) EndChain(chain int, sorts []SortOp) {
+	in.cur.Sorts = sorts
+	in.w.Chains = append(in.w.Chains, in.cur)
+	in.cur = nil
+}
+
+// Inspect runs the inspection phase for a kernel: it executes the control
+// flow of the loop nest (without any computation or communication) and
+// returns the filled metadata arrays. loc may be nil when block placement
+// is not needed (e.g. shared-memory execution).
+func Inspect(k *Kernel, loc Locator) *Workload {
+	w := &Workload{Kernel: k}
+	k.Walk(&inspector{w: w, loc: loc})
+	return w
+}
+
+// NumChains returns the number of chains (the PTG's size_L1).
+func (w *Workload) NumChains() int { return len(w.Chains) }
+
+// ChainLen returns the number of GEMMs in chain i (the PTG's size_L2).
+func (w *Workload) ChainLen(i int) int { return len(w.Chains[i].Gemms) }
+
+// Stats summarizes a workload.
+type Stats struct {
+	Chains      int
+	Gemms       int
+	Sorts       int
+	TotalFlops  int64
+	InputBytes  int64 // bytes of A and B blocks fetched (with re-fetches)
+	OutputBytes int64 // bytes of C blocks written once per chain
+	MinLen      int
+	MaxLen      int
+	MeanLen     float64
+}
+
+// Stats computes summary statistics of the workload.
+func (w *Workload) Stats() Stats {
+	s := Stats{Chains: len(w.Chains), MinLen: int(^uint(0) >> 1)}
+	for _, c := range w.Chains {
+		n := len(c.Gemms)
+		s.Gemms += n
+		s.Sorts += len(c.Sorts)
+		if n < s.MinLen {
+			s.MinLen = n
+		}
+		if n > s.MaxLen {
+			s.MaxLen = n
+		}
+		for _, g := range c.Gemms {
+			s.TotalFlops += g.Op.Flops()
+			s.InputBytes += g.Op.A.Bytes() + g.Op.B.Bytes()
+		}
+		s.OutputBytes += c.Out.Bytes()
+	}
+	if s.Chains > 0 {
+		s.MeanLen = float64(s.Gemms) / float64(s.Chains)
+	} else {
+		s.MinLen = 0
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chains=%d gemms=%d sorts=%d flops=%.3g", s.Chains, s.Gemms, s.Sorts, float64(s.TotalFlops))
+	fmt.Fprintf(&b, " chainLen=[%d..%d] mean=%.1f", s.MinLen, s.MaxLen, s.MeanLen)
+	fmt.Fprintf(&b, " in=%.3gMB out=%.3gMB", float64(s.InputBytes)/1e6, float64(s.OutputBytes)/1e6)
+	return b.String()
+}
+
+// UniqueBlocks returns the distinct input blocks of a tensor referenced by
+// the workload, in deterministic order. Used to size and fill the Global
+// Arrays before execution.
+func (w *Workload) UniqueBlocks(tensorName string) []BlockRef {
+	seen := make(map[string]BlockRef)
+	for _, c := range w.Chains {
+		if c.Out.Tensor == tensorName {
+			seen[c.Out.String()] = c.Out
+		}
+		for _, g := range c.Gemms {
+			if g.Op.A.Tensor == tensorName {
+				seen[g.Op.A.String()] = g.Op.A
+			}
+			if g.Op.B.Tensor == tensorName {
+				seen[g.Op.B.String()] = g.Op.B
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]BlockRef, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package tce
+
+import (
+	"parsec/internal/tensor"
+)
+
+// blockSeed derives a deterministic per-block seed from the system seed,
+// the tensor name, and the block key, so every executor fills identical
+// synthetic data.
+func blockSeed(base uint64, name string, key tensor.BlockKey) uint64 {
+	h := base ^ 0x9e3779b97f4a7c15
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	for _, k := range key {
+		h = (h ^ uint64(uint32(k))) * 0x100000001b3
+	}
+	return h
+}
+
+// FillBlock fills a tile with the canonical synthetic data for the given
+// block reference: deterministic pseudo-random values standing in for the
+// CCSD amplitudes and two-electron integrals.
+func (w *Workload) FillBlock(ref BlockRef, t *tensor.Tile4) {
+	t.FillRandom(blockSeed(w.Kernel.Sys.Seed, ref.Tensor, ref.Key), 0.5)
+}
+
+// InputTensors returns the distinct input tensor names the workload's
+// GEMMs reference, in (A, B) order: ("t2", "v2") for the T2 kernel,
+// ("t2", "f1") for the T1 kernel.
+func (w *Workload) InputTensors() (aName, bName string) {
+	if len(w.Chains) == 0 || len(w.Chains[0].Gemms) == 0 {
+		return TensorA, TensorB
+	}
+	g := w.Chains[0].Gemms[0]
+	return g.Op.A.Tensor, g.Op.B.Tensor
+}
+
+// Materialize allocates and fills the input tensors referenced by the
+// workload. Only symmetry-allowed blocks that the kernel actually touches
+// are stored, mirroring the block-sparse storage of the TCE. Intended for
+// small systems executed with real arithmetic; the simulator never calls
+// this.
+func (w *Workload) Materialize() (a, b *tensor.BlockTensor4) {
+	aName, bName := w.InputTensors()
+	a = tensor.NewBlockTensor4()
+	b = tensor.NewBlockTensor4()
+	for _, ref := range w.UniqueBlocks(aName) {
+		w.FillBlock(ref, a.GetOrCreate(ref.Key, ref.Dims))
+	}
+	for _, ref := range w.UniqueBlocks(bName) {
+		w.FillBlock(ref, b.GetOrCreate(ref.Key, ref.Dims))
+	}
+	return a, b
+}
+
+// Weights returns the deterministic weight tensor over the workload's
+// output blocks used by the correlation-energy functional Energy.
+func (w *Workload) Weights() *tensor.BlockTensor4 {
+	wt := tensor.NewBlockTensor4()
+	for _, ref := range w.UniqueBlocks(TensorC) {
+		t := wt.GetOrCreate(ref.Key, ref.Dims)
+		t.FillRandom(blockSeed(w.Kernel.Sys.Seed, "weights", ref.Key), 0.25)
+	}
+	return wt
+}
+
+// Energy reduces an output tensor to the scalar correlation-energy
+// functional: the inner product with the deterministic weight tensor,
+// accumulated in block-key order. All algorithmic variants of the kernel
+// must reproduce this value to ~14 digits (§IV-A).
+func (w *Workload) Energy(c *tensor.BlockTensor4) float64 {
+	return c.Dot(w.Weights())
+}
+
+// RunReference executes the workload exactly as the original serial
+// semantics prescribe: for each chain in loop order, zero the C buffer
+// (DFILL), apply every GEMM in sequence, then apply each active SORT_4
+// followed by its accumulate into the output tensor (ADD_HASH_BLOCK).
+// It returns the output tensor and is the ground truth for every
+// parallel variant.
+func (w *Workload) RunReference(a, b *tensor.BlockTensor4) *tensor.BlockTensor4 {
+	out := tensor.NewBlockTensor4()
+	for _, c := range w.Chains {
+		cbuf := tensor.NewTile4(c.CDims[0], c.CDims[1], c.CDims[2], c.CDims[3])
+		cm := cbuf.AsMatrix()
+		for _, g := range c.Gemms {
+			at := a.MustTile(g.Op.A.Key)
+			bt := b.MustTile(g.Op.B.Key)
+			// dgemm('T', 'N', ...): op(A) = A^T, per Fig 1.
+			tensor.Gemm(true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, cm)
+		}
+		dst := out.GetOrCreate(c.Out.Key, c.Out.Dims)
+		tmp := tensor.NewTile4(c.Out.Dims[0], c.Out.Dims[1], c.Out.Dims[2], c.Out.Dims[3])
+		for _, s := range c.Sorts {
+			tensor.Sort4(tmp, cbuf, s.Perm, s.Sign)
+			dst.AddScaled(tmp, 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package tce
+
+import (
+	"testing"
+
+	"parsec/internal/molecule"
+	"parsec/internal/tensor"
+)
+
+func TestT1WorkloadWellFormed(t *testing.T) {
+	sys := molecule.Water631G()
+	w := Inspect(T1_2(sys), nil)
+	if w.NumChains() == 0 {
+		t.Fatal("no T1 chains")
+	}
+	for _, c := range w.Chains {
+		if len(c.Sorts) != 1 {
+			t.Fatalf("T1 chain %d has %d sorts, want 1", c.ID, len(c.Sorts))
+		}
+		if c.Sorts[0].Perm != [4]int{0, 1, 2, 3} || c.Sorts[0].Sign != 1 {
+			t.Fatalf("T1 sort is not the identity: %+v", c.Sorts[0])
+		}
+		if c.Out.Dims[2] != 1 || c.Out.Dims[3] != 1 {
+			t.Fatalf("T1 output block not 2-index: dims %v", c.Out.Dims)
+		}
+		for _, g := range c.Gemms {
+			if g.Op.N != 1 {
+				t.Fatalf("T1 GEMM N = %d, want 1", g.Op.N)
+			}
+			if g.Op.B.Tensor != TensorF {
+				t.Fatalf("T1 B tensor = %s", g.Op.B.Tensor)
+			}
+			if g.Op.M != g.Op.A.Dims[2]*g.Op.A.Dims[3] || g.Op.K != g.Op.A.Dims[0]*g.Op.A.Dims[1] {
+				t.Fatal("T1 GEMM dims inconsistent with A block")
+			}
+		}
+	}
+	aName, bName := w.InputTensors()
+	if aName != TensorA || bName != TensorF {
+		t.Errorf("InputTensors = %s, %s", aName, bName)
+	}
+}
+
+func TestT1ReferenceMatchesDirectSum(t *testing.T) {
+	sys := molecule.Water631G()
+	w := Inspect(T1_2(sys), nil)
+	a, b := w.Materialize()
+	out := w.RunReference(a, b)
+
+	// Recompute one chain naively: i0[m] = sum_k A[k,m] * B[k].
+	c := w.Chains[0]
+	want := tensor.NewTile4(c.Out.Dims[0], c.Out.Dims[1], 1, 1)
+	for _, g := range c.Gemms {
+		at := a.MustTile(g.Op.A.Key)
+		bt := b.MustTile(g.Op.B.Key)
+		for m := 0; m < g.Op.M; m++ {
+			var s float64
+			for k := 0; k < g.Op.K; k++ {
+				s += at.Data[k*g.Op.M+m] * bt.Data[k]
+			}
+			want.Data[m] += s
+		}
+	}
+	got := out.MustTile(c.Out.Key)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("T1 reference block differs by %g", d)
+	}
+}
+
+func TestT1SeparateEnergyFromT2(t *testing.T) {
+	sys := molecule.Water631G()
+	t1 := Inspect(T1_2(sys), nil)
+	t2 := Inspect(T2_7(sys), nil)
+	a1, b1 := t1.Materialize()
+	a2, b2 := t2.Materialize()
+	e1 := t1.Energy(t1.RunReference(a1, b1))
+	e2 := t2.Energy(t2.RunReference(a2, b2))
+	if e1 == 0 || e2 == 0 || e1 == e2 {
+		t.Errorf("degenerate kernel energies: %v, %v", e1, e2)
+	}
+}
+
+func TestT1InspectorLocator(t *testing.T) {
+	sys := molecule.Water631G()
+	w := Inspect(T1_2(sys), func(b BlockRef) int { return 1 })
+	for _, c := range w.Chains {
+		if c.OutNode != 1 || c.Gemms[0].ANode != 1 || c.Gemms[0].BNode != 1 {
+			t.Fatal("locator not applied to T1 workload")
+		}
+	}
+}

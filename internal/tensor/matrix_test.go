@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// gemmRef is a naive triple-loop reference for all transpose combinations.
+func gemmRef(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) *Matrix {
+	m, k := opDims(a, transA)
+	_, n := opDims(b, transB)
+	out := NewMatrix(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			out.Set(i, j, beta*c.At(i, j))
+		}
+	}
+	av := func(i, l int) float64 {
+		if transA {
+			return a.At(l, i)
+		}
+		return a.At(i, l)
+	}
+	bv := func(l, j int) float64 {
+		if transB {
+			return b.At(j, l)
+		}
+		return b.At(l, j)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += av(i, l) * bv(l, j)
+			}
+			out.Data[i*out.Cols+j] += alpha * s
+		}
+	}
+	return out
+}
+
+func randMatrix(rows, cols int, seed uint64) *Matrix {
+	m := NewMatrix(rows, cols)
+	t := NewTile4(rows, cols, 1, 1)
+	t.FillRandom(seed, 1)
+	copy(m.Data, t.Data)
+	return m
+}
+
+func TestGemmAllTransposeForms(t *testing.T) {
+	const m, n, k = 5, 7, 4
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			var a, b *Matrix
+			if ta {
+				a = randMatrix(k, m, 1)
+			} else {
+				a = randMatrix(m, k, 1)
+			}
+			if tb {
+				b = randMatrix(n, k, 2)
+			} else {
+				b = randMatrix(k, n, 2)
+			}
+			c := randMatrix(m, n, 3)
+			want := gemmRef(ta, tb, 1.5, a, b, 0.5, c)
+			got := c.Clone()
+			Gemm(ta, tb, 1.5, a, b, 0.5, got)
+			if d := got.MaxAbsDiff(want); d > 1e-13 {
+				t.Errorf("transA=%v transB=%v: max diff %g", ta, tb, d)
+			}
+		}
+	}
+}
+
+func TestGemmBetaZeroOverwritesNaN(t *testing.T) {
+	a := randMatrix(3, 3, 4)
+	b := randMatrix(3, 3, 5)
+	c := NewMatrix(3, 3)
+	for i := range c.Data {
+		c.Data[i] = math.NaN()
+	}
+	Gemm(false, false, 1, a, b, 0, c)
+	for i, v := range c.Data {
+		if math.IsNaN(v) {
+			t.Fatalf("beta=0 left NaN at %d", i)
+		}
+	}
+}
+
+func TestGemmAlphaZeroScalesOnly(t *testing.T) {
+	a := randMatrix(2, 2, 6)
+	b := randMatrix(2, 2, 7)
+	c := randMatrix(2, 2, 8)
+	want := c.Clone()
+	for i := range want.Data {
+		want.Data[i] *= 2
+	}
+	Gemm(false, false, 0, a, b, 2, c)
+	if d := c.MaxAbsDiff(want); d != 0 {
+		t.Errorf("alpha=0 changed C beyond beta scaling: %g", d)
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Gemm(false, false, 1, NewMatrix(2, 3), NewMatrix(4, 2), 1, NewMatrix(2, 2))
+}
+
+func TestGemmEmptyDims(t *testing.T) {
+	c := NewMatrix(0, 5)
+	Gemm(false, false, 1, NewMatrix(0, 3), NewMatrix(3, 5), 1, c) // no panic
+	c2 := NewMatrix(2, 2)
+	Gemm(false, false, 1, NewMatrix(2, 0), NewMatrix(0, 2), 0, c2)
+	for _, v := range c2.Data {
+		if v != 0 {
+			t.Error("k=0 GEMM should zero C with beta=0")
+		}
+	}
+}
+
+func TestGemmFlops(t *testing.T) {
+	if got := GemmFlops(10, 20, 30); got != 12000 {
+		t.Errorf("GemmFlops = %d, want 12000", got)
+	}
+}
+
+// Property: Gemm agrees with the naive reference on random shapes and
+// transpose flags.
+func TestPropertyGemmMatchesReference(t *testing.T) {
+	f := func(mm, nn, kk uint8, ta, tb bool, seed uint64) bool {
+		m, n, k := int(mm%8)+1, int(nn%8)+1, int(kk%8)+1
+		var a, b *Matrix
+		if ta {
+			a = randMatrix(k, m, seed)
+		} else {
+			a = randMatrix(m, k, seed)
+		}
+		if tb {
+			b = randMatrix(n, k, seed+1)
+		} else {
+			b = randMatrix(k, n, seed+2)
+		}
+		c := randMatrix(m, n, seed+3)
+		want := gemmRef(ta, tb, 0.7, a, b, 1, c)
+		got := c.Clone()
+		Gemm(ta, tb, 0.7, a, b, 1, got)
+		return got.MaxAbsDiff(want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gemm is linear in alpha: Gemm(2a) == 2*Gemm(a) contribution.
+func TestPropertyGemmLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := randMatrix(4, 3, seed)
+		b := randMatrix(3, 5, seed+1)
+		c1 := NewMatrix(4, 5)
+		c2 := NewMatrix(4, 5)
+		Gemm(false, false, 2, a, b, 0, c1)
+		Gemm(false, false, 1, a, b, 0, c2)
+		for i := range c2.Data {
+			c2.Data[i] *= 2
+		}
+		return c1.MaxAbsDiff(c2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func seqTile(d0, d1, d2, d3 int) *Tile4 {
+	t := NewTile4(d0, d1, d2, d3)
+	for i := range t.Data {
+		t.Data[i] = float64(i + 1)
+	}
+	return t
+}
+
+func TestTile4Indexing(t *testing.T) {
+	tl := NewTile4(2, 3, 4, 5)
+	if tl.Len() != 120 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	tl.Set(1, 2, 3, 4, 42)
+	if tl.At(1, 2, 3, 4) != 42 {
+		t.Error("At/Set roundtrip failed")
+	}
+	if tl.Index(1, 2, 3, 4) != 119 {
+		t.Errorf("Index = %d, want 119 (last element)", tl.Index(1, 2, 3, 4))
+	}
+	if tl.Bytes() != 960 {
+		t.Errorf("Bytes = %d", tl.Bytes())
+	}
+}
+
+func TestAsMatrixSharesStorage(t *testing.T) {
+	tl := seqTile(2, 3, 4, 5)
+	m := tl.AsMatrix()
+	if m.Rows != 6 || m.Cols != 20 {
+		t.Fatalf("AsMatrix dims %dx%d", m.Rows, m.Cols)
+	}
+	m.Set(0, 0, -7)
+	if tl.At(0, 0, 0, 0) != -7 {
+		t.Error("matrix view does not share storage")
+	}
+	// Element (i0,i1,i2,i3) should appear at row i0*d1+i1, col i2*d3+i3.
+	if m.At(1*3+2, 3*5+4) != tl.At(1, 2, 3, 4) {
+		t.Error("matrix view layout mismatch")
+	}
+}
+
+func TestSort4Identity(t *testing.T) {
+	src := seqTile(2, 3, 2, 3)
+	dst := NewTile4(2, 3, 2, 3)
+	Sort4(dst, src, [4]int{0, 1, 2, 3}, 1)
+	if dst.MaxAbsDiff(src) != 0 {
+		t.Error("identity permutation changed data")
+	}
+	Sort4(dst, src, [4]int{0, 1, 2, 3}, -2)
+	for i := range src.Data {
+		if dst.Data[i] != -2*src.Data[i] {
+			t.Fatal("scale not applied")
+		}
+	}
+}
+
+func TestSort4KnownPermutation(t *testing.T) {
+	src := seqTile(2, 3, 4, 5)
+	perm := [4]int{2, 0, 3, 1} // dst[i2,i0,i3,i1] = src[i0,i1,i2,i3]
+	dims := src.SortedDims(perm)
+	if dims != [4]int{4, 2, 5, 3} {
+		t.Fatalf("SortedDims = %v", dims)
+	}
+	dst := NewTile4(dims[0], dims[1], dims[2], dims[3])
+	Sort4(dst, src, perm, 1)
+	for i0 := 0; i0 < 2; i0++ {
+		for i1 := 0; i1 < 3; i1++ {
+			for i2 := 0; i2 < 4; i2++ {
+				for i3 := 0; i3 < 5; i3++ {
+					if dst.At(i2, i0, i3, i1) != src.At(i0, i1, i2, i3) {
+						t.Fatalf("mismatch at (%d,%d,%d,%d)", i0, i1, i2, i3)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSort4AddAccumulates(t *testing.T) {
+	src := seqTile(2, 2, 2, 2)
+	dst := seqTile(2, 2, 2, 2)
+	Sort4Add(dst, src, [4]int{0, 1, 2, 3}, 3)
+	for i := range src.Data {
+		if dst.Data[i] != 4*src.Data[i] {
+			t.Fatal("Sort4Add did not accumulate")
+		}
+	}
+}
+
+func TestSort4InvalidPermPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	src := seqTile(2, 2, 2, 2)
+	Sort4(NewTile4(2, 2, 2, 2), src, [4]int{0, 0, 2, 3}, 1)
+}
+
+func TestSort4WrongDstDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	src := seqTile(2, 3, 4, 5)
+	Sort4(NewTile4(2, 3, 4, 5), src, [4]int{1, 0, 2, 3}, 1)
+}
+
+// Property: Sort4 is a bijection — applying the permutation and then its
+// inverse returns the original tile, and multisets of values match.
+func TestPropertySort4Bijective(t *testing.T) {
+	perms := [][4]int{
+		{0, 1, 2, 3}, {1, 0, 2, 3}, {0, 1, 3, 2}, {1, 0, 3, 2},
+		{2, 3, 0, 1}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2},
+	}
+	f := func(a, b, c, d uint8, pi uint8, seed uint64) bool {
+		dims := [4]int{int(a%3) + 1, int(b%3) + 1, int(c%3) + 1, int(d%3) + 1}
+		perm := perms[int(pi)%len(perms)]
+		src := NewTile4(dims[0], dims[1], dims[2], dims[3])
+		src.FillRandom(seed, 1)
+		sd := src.SortedDims(perm)
+		fwd := NewTile4(sd[0], sd[1], sd[2], sd[3])
+		Sort4(fwd, src, perm, 1)
+		// Inverse permutation: inv[perm[k]] = k.
+		var inv [4]int
+		for k, p := range perm {
+			inv[p] = k
+		}
+		back := NewTile4(dims[0], dims[1], dims[2], dims[3])
+		Sort4(back, fwd, inv, 1)
+		return back.MaxAbsDiff(src) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sort4 with scale s then accumulate equals AddScaled of the
+// permuted tile — i.e. scaling commutes with permutation.
+func TestPropertySort4ScaleCommutes(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := NewTile4(3, 2, 3, 2)
+		src.FillRandom(seed, 1)
+		perm := [4]int{1, 0, 3, 2}
+		sd := src.SortedDims(perm)
+		a := NewTile4(sd[0], sd[1], sd[2], sd[3])
+		Sort4(a, src, perm, 2.5)
+		b := NewTile4(sd[0], sd[1], sd[2], sd[3])
+		Sort4(b, src, perm, 1)
+		c := NewTile4(sd[0], sd[1], sd[2], sd[3])
+		c.AddScaled(b, 2.5)
+		return a.MaxAbsDiff(c) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := NewTile4(3, 3, 3, 3)
+	b := NewTile4(3, 3, 3, 3)
+	a.FillRandom(99, 2)
+	b.FillRandom(99, 2)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Error("FillRandom not deterministic")
+	}
+	c := NewTile4(3, 3, 3, 3)
+	c.FillRandom(100, 2)
+	if a.MaxAbsDiff(c) == 0 {
+		t.Error("different seeds produced identical tiles")
+	}
+	for _, v := range a.Data {
+		if v < -2 || v >= 2 {
+			t.Fatalf("value %v out of [-2,2)", v)
+		}
+	}
+}
+
+func TestAddScaledAndClone(t *testing.T) {
+	a := seqTile(2, 2, 2, 2)
+	b := a.Clone()
+	b.AddScaled(a, -1)
+	for _, v := range b.Data {
+		if v != 0 {
+			t.Fatal("x - x != 0")
+		}
+	}
+	if a.Data[0] != 1 {
+		t.Error("Clone aliases source")
+	}
+}

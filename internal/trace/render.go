@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// classGlyphs assigns the ASCII Gantt glyph per task class, mirroring the
+// color legend of the paper's traces: GEMM red (G), read-A blue (a),
+// read-B purple (b), reductions yellow (r), writes light green (w).
+var classGlyphs = map[string]byte{
+	"GEMM":   'G',
+	"READA":  'a',
+	"READB":  'b',
+	"REDUCE": 'r',
+	"SORT":   's',
+	"WRITE":  'w',
+	"DFILL":  'd',
+	"GET":    '.',
+	"NXTVAL": 'x',
+	"ADD":    '+',
+}
+
+// classColors are the SVG fill colors, matching the paper's legend where
+// one exists (red GEMMs, blue A reads, purple B reads, yellow
+// reductions, light green writes, grey idle).
+var classColors = map[string]string{
+	"GEMM":   "#c0392b",
+	"READA":  "#2e6da4",
+	"READB":  "#8e44ad",
+	"REDUCE": "#f1c40f",
+	"SORT":   "#e67e22",
+	"WRITE":  "#7ed67e",
+	"DFILL":  "#16a085",
+	"GET":    "#2e6da4",
+	"NXTVAL": "#2c3e50",
+	"ADD":    "#7ed67e",
+}
+
+func glyphFor(class string) byte {
+	if g, ok := classGlyphs[class]; ok {
+		return g
+	}
+	if len(class) > 0 {
+		return class[0]
+	}
+	return '?'
+}
+
+func colorFor(class string) string {
+	if c, ok := classColors[class]; ok {
+		return c
+	}
+	return "#95a5a6"
+}
+
+// ASCIIGantt renders the trace as text: one row per thread, rows grouped
+// by node, width columns spanning the makespan, '.' for idle time.
+func (t *Trace) ASCIIGantt(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 100
+	}
+	start, end := t.Span()
+	span := end - start
+	if span <= 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	keys, byRow := t.rows()
+	col := func(ts int64) int {
+		c := int(float64(ts-start) / float64(span) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	lastNode := -1
+	for _, k := range keys {
+		if k.node != lastNode {
+			if _, err := fmt.Fprintf(w, "--- node %d %s\n", k.node, dashes(width-11)); err != nil {
+				return err
+			}
+			lastNode = k.node
+		}
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, e := range byRow[k] {
+			g := glyphFor(e.Class)
+			c0, c1 := col(e.Start), col(e.End)
+			for c := c0; c <= c1; c++ {
+				line[c] = g
+			}
+		}
+		if _, err := fmt.Fprintf(w, "t%-3d|%s|\n", k.thread, line); err != nil {
+			return err
+		}
+	}
+	return t.writeLegend(w)
+}
+
+func dashes(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func (t *Trace) classList() []string {
+	set := map[string]bool{}
+	for _, e := range t.Events() {
+		set[e.Class] = true
+	}
+	var names []string
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (t *Trace) writeLegend(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "legend:"); err != nil {
+		return err
+	}
+	for _, n := range t.classList() {
+		if _, err := fmt.Fprintf(w, " %c=%s", glyphFor(n), n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits one line per event: node,thread,class,label,start_ns,end_ns.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "node,thread,class,label,start_ns,end_ns"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%s,%d,%d\n",
+			e.Node, e.Thread, e.Class, e.Label, e.Start, e.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSVG renders the trace as an SVG Gantt chart in the style of
+// Figs 10-13: one horizontal bar row per thread, grouped by node, task
+// rectangles colored by class over a grey idle background.
+func (t *Trace) WriteSVG(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 1200
+	}
+	const rowH, rowGap, nodeGap, margin = 12, 2, 8, 4
+	start, end := t.Span()
+	span := end - start
+	keys, byRow := t.rows()
+	if span <= 0 || len(keys) == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`)
+		return err
+	}
+	// Row y positions.
+	ys := make(map[threadKey]int, len(keys))
+	y := margin
+	lastNode := keys[0].node
+	for _, k := range keys {
+		if k.node != lastNode {
+			y += nodeGap
+			lastNode = k.node
+		}
+		ys[k] = y
+		y += rowH + rowGap
+	}
+	height := y + margin + 16
+	x := func(ts int64) float64 {
+		return margin + float64(ts-start)/float64(span)*float64(width-2*margin)
+	}
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="9">`+"\n",
+		width, height); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#d7d7d7"/>`+"\n",
+			margin, ys[k], width-2*margin, rowH)
+	}
+	for _, k := range keys {
+		for _, e := range byRow[k] {
+			x0, x1 := x(e.Start), x(e.End)
+			wd := x1 - x0
+			if wd < 0.4 {
+				wd = 0.4
+			}
+			fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"><title>%s</title></rect>`+"\n",
+				x0, ys[k], wd, rowH, colorFor(e.Class), e.Label)
+		}
+	}
+	// Legend.
+	lx := margin
+	ly := height - 12
+	for _, n := range t.classList() {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="8" height="8" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
+			lx, ly, colorFor(n), lx+10, ly+8, n)
+		lx += 12 + 7*len(n) + 14
+	}
+	_, err := fmt.Fprint(w, "</svg>\n")
+	return err
+}
+
+// WriteChromeTrace emits the trace in the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto): one complete event per task, with the
+// node as the process id and the thread as the thread id, so the paper's
+// Gantt layout appears natively in the viewer.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "[\n"); err != nil {
+		return err
+	}
+	evs := t.Events()
+	for i, e := range evs {
+		sep := ","
+		if i == len(evs)-1 {
+			sep = ""
+		}
+		// Timestamps and durations are microseconds in the trace format.
+		if _, err := fmt.Fprintf(w,
+			`  {"name": %q, "cat": %q, "ph": "X", "ts": %.3f, "dur": %.3f, "pid": %d, "tid": %d}%s`+"\n",
+			e.Label, e.Class, float64(e.Start)/1e3, float64(e.Duration())/1e3, e.Node, e.Thread, sep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "]\n")
+	return err
+}

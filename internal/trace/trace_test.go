@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	t := New()
+	// Node 0, thread 0: read then gemm; thread 1 idle at start.
+	t.Add(Event{Node: 0, Thread: 0, Class: "READA", Label: "READA(0,0)", Start: 0, End: 100})
+	t.Add(Event{Node: 0, Thread: 0, Class: "GEMM", Label: "GEMM(0,0)", Start: 100, End: 400})
+	t.Add(Event{Node: 0, Thread: 1, Class: "GEMM", Label: "GEMM(1,0)", Start: 200, End: 500})
+	t.Add(Event{Node: 1, Thread: 0, Class: "WRITE", Label: "WRITE(0)", Start: 450, End: 500})
+	return t
+}
+
+func TestEventsSorted(t *testing.T) {
+	tr := sampleTrace()
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Node > b.Node || (a.Node == b.Node && a.Thread > b.Thread) {
+			t.Fatalf("events not sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := sampleTrace()
+	s, e := tr.Span()
+	if s != 0 || e != 500 {
+		t.Errorf("Span = [%d,%d], want [0,500]", s, e)
+	}
+	empty := New()
+	if s, e := empty.Span(); s != 0 || e != 0 {
+		t.Error("empty span not zero")
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	tr.Add(Event{Node: 0, Thread: 0, Class: "GEMM", Label: "bad", Start: 350, End: 360})
+	if err := tr.Validate(); err == nil {
+		t.Error("overlap not detected")
+	}
+	tr2 := New()
+	tr2.Add(Event{Node: 0, Thread: 0, Class: "X", Label: "neg", Start: 10, End: 5})
+	if err := tr2.Validate(); err == nil {
+		t.Error("negative duration not detected")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Summarize()
+	if s.Span != 500 || s.Threads != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Busy: 100+300 + 300 + 50 = 750 over 3*500 = 1500 -> idle 0.5.
+	if s.TotalBusy != 750 {
+		t.Errorf("TotalBusy = %d", s.TotalBusy)
+	}
+	if s.IdleFraction < 0.49 || s.IdleFraction > 0.51 {
+		t.Errorf("IdleFraction = %v", s.IdleFraction)
+	}
+	// Startup idle: thread starts at 0, 200, 450 -> mean 216.
+	if s.StartupIdleMean != (0+200+450)/3 {
+		t.Errorf("StartupIdleMean = %d", s.StartupIdleMean)
+	}
+	var gemm *ClassStat
+	for i := range s.ByClass {
+		if s.ByClass[i].Class == "GEMM" {
+			gemm = &s.ByClass[i]
+		}
+	}
+	if gemm == nil || gemm.Count != 2 || gemm.Busy != 600 {
+		t.Errorf("GEMM stat %+v", gemm)
+	}
+	if !strings.Contains(s.String(), "GEMM") {
+		t.Error("summary string missing class")
+	}
+}
+
+func TestOverlapStats(t *testing.T) {
+	tr := New()
+	comm := map[string]bool{"READA": true}
+	// Comm [0,100) with compute [50,150) on same node: 50 overlapped.
+	tr.Add(Event{Node: 0, Thread: 0, Class: "READA", Start: 0, End: 100})
+	tr.Add(Event{Node: 0, Thread: 1, Class: "GEMM", Start: 50, End: 150})
+	// Comm on node 1 with no compute: no overlap.
+	tr.Add(Event{Node: 1, Thread: 0, Class: "READA", Start: 0, End: 80})
+	commTime, over := tr.OverlapStats(comm)
+	if commTime != 180 {
+		t.Errorf("commTime = %d, want 180", commTime)
+	}
+	if over != 50 {
+		t.Errorf("overlapped = %d, want 50", over)
+	}
+}
+
+func TestASCIIGantt(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.ASCIIGantt(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node 0") || !strings.Contains(out, "node 1") {
+		t.Error("missing node headers")
+	}
+	if !strings.Contains(out, "G") || !strings.Contains(out, "legend:") {
+		t.Error("missing glyphs or legend")
+	}
+	var empty bytes.Buffer
+	if err := New().ASCIIGantt(&empty, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Error("empty trace not handled")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 events
+		t.Errorf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "node,thread,class,label,start_ns,end_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteSVG(&buf, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if !strings.Contains(out, "#c0392b") { // GEMM red
+		t.Error("missing GEMM color")
+	}
+	var empty bytes.Buffer
+	if err := New().WriteSVG(&empty, 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Add(Event{Node: i, Thread: 0, Class: "GEMM", Start: int64(j), End: int64(j + 1)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+// Property: Summarize busy time equals the sum of event durations, and
+// idle fraction is in [0, 1], for arbitrary non-overlapping rows.
+func TestPropertySummarize(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 || len(durs) > 64 {
+			return true
+		}
+		tr := New()
+		var cursor int64
+		var want int64
+		for i, d := range durs {
+			dur := int64(d) + 1
+			tr.Add(Event{Node: 0, Thread: i % 4, Class: "GEMM", Start: cursor, End: cursor + dur})
+			cursor += dur + 10
+			want += dur
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		s := tr.Summarize()
+		return s.TotalBusy == want && s.IdleFraction >= 0 && s.IdleFraction <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlyphAndColorFallbacks(t *testing.T) {
+	if glyphFor("UNKNOWN") != 'U' || glyphFor("") != '?' {
+		t.Error("glyph fallback")
+	}
+	if colorFor("UNKNOWN") != "#95a5a6" {
+		t.Error("color fallback")
+	}
+}
+
+func TestRampStats(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: 0, Thread: 0, Class: "READA", Start: 0, End: 50})
+	tr.Add(Event{Node: 0, Thread: 0, Class: "GEMM", Start: 100, End: 200})
+	tr.Add(Event{Node: 0, Thread: 1, Class: "GEMM", Start: 300, End: 400})
+	tr.Add(Event{Node: 1, Thread: 0, Class: "READA", Start: 0, End: 10})
+	mean, max := tr.RampStats("GEMM")
+	// Threads with GEMMs: (0,0) at 100, (0,1) at 300 -> mean 200, max 300.
+	if mean != 200 || max != 300 {
+		t.Errorf("RampStats = (%d, %d), want (200, 300)", mean, max)
+	}
+	if m, x := tr.RampStats("NOPE"); m != 0 || x != 0 {
+		t.Errorf("missing class ramp = (%d, %d)", m, x)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := sampleTrace()
+	z := tr.Window(150, 450)
+	for _, e := range z.Events() {
+		if e.Start < 150 || e.End > 450 {
+			t.Fatalf("event outside window: %+v", e)
+		}
+	}
+	// GEMM(0,0) [100,400) is clipped to [150,400); GEMM(1,0) [200,500) to
+	// [200,450); READA [0,100) and WRITE [450,500) are dropped.
+	if z.Len() != 2 {
+		t.Errorf("window events = %d, want 2", z.Len())
+	}
+	s, e := z.Span()
+	if s < 150 || e > 450 {
+		t.Errorf("window span [%d,%d]", s, e)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["cat"] != "READA" {
+		t.Errorf("first event: %v", events[0])
+	}
+}
