@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/ga/ ./internal/trace/ ./internal/dtd/ .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -20,12 +20,14 @@ package parsec
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"parsec/internal/ccsd"
 	"parsec/internal/cluster"
 	"parsec/internal/ga"
 	"parsec/internal/molecule"
 	"parsec/internal/ptg"
+	"parsec/internal/runtime"
 	"parsec/internal/sim"
 	"parsec/internal/simexec"
 	"parsec/internal/tce"
@@ -405,6 +407,147 @@ func BenchmarkAblationQueues(b *testing.B) {
 			}
 			b.ReportMetric(last, "sim-s")
 		})
+	}
+}
+
+// schedWorkerSweep mirrors Fig 9's cores-per-node axis for the
+// shared-memory scheduler contention benchmarks.
+var schedWorkerSweep = []int{1, 4, 8, 16}
+
+var schedQueueModes = []struct {
+	name string
+	q    runtime.QueueMode
+}{
+	{"shared", runtime.SharedQueue},
+	{"pinned", runtime.PerWorker},
+	{"pinned-steal", runtime.PerWorkerSteal},
+}
+
+// schedFanoutGraph builds a wide fan-out of independent spin tasks: one
+// SRC releasing n LEAF tasks whose bodies busy-spin for the given
+// duration. With tiny bodies the run time is dominated by scheduler
+// dispatch, so time-per-task exposes enqueue/dequeue contention.
+func schedFanoutGraph(n int, spin time.Duration) *ptg.Graph {
+	g := ptg.NewGraph("sched-fanout")
+	src := g.Class("SRC")
+	src.Domain = func(emit func(ptg.Args)) { emit(ptg.A1(0)) }
+	f := src.AddFlow("D", ptg.Write)
+	f.InNew(nil, func(a ptg.Args) int64 { return 8 })
+	for i := 0; i < n; i++ {
+		i := i
+		f.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "LEAF", Args: ptg.A1(i)}, "D"
+		})
+	}
+	src.Body = func(ctx *ptg.Ctx) { ctx.Out[0] = 1 }
+
+	leaf := g.Class("LEAF")
+	leaf.Domain = func(emit func(ptg.Args)) {
+		for i := 0; i < n; i++ {
+			emit(ptg.A1(i))
+		}
+	}
+	leaf.AddFlow("D", ptg.Read).
+		In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "SRC", Args: ptg.A1(0)}, "D"
+		})
+	leaf.Body = func(ctx *ptg.Ctx) { spinFor(spin) }
+	return g
+}
+
+// schedChainsGraph builds c independent chains of length l (more chains
+// than workers), so pinned modes see cross-queue handoffs and stealing.
+func schedChainsGraph(c, l int, spin time.Duration) *ptg.Graph {
+	g := ptg.NewGraph("sched-chains")
+	step := g.Class("STEP")
+	step.Domain = func(emit func(ptg.Args)) {
+		for ci := 0; ci < c; ci++ {
+			for s := 0; s < l; s++ {
+				emit(ptg.A2(ci, s))
+			}
+		}
+	}
+	step.Priority = func(a ptg.Args) int64 { return int64(c - a[0]) }
+	step.AddFlow("D", ptg.RW).
+		InNew(func(a ptg.Args) bool { return a[1] == 0 }, func(a ptg.Args) int64 { return 8 }).
+		In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "STEP", Args: ptg.A2(a[0], a[1]-1)}, "D"
+		}).
+		Out(func(a ptg.Args) bool { return a[1] < l-1 }, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "STEP", Args: ptg.A2(a[0], a[1]+1)}, "D"
+		})
+	step.Body = func(ctx *ptg.Ctx) { spinFor(spin) }
+	return g
+}
+
+// spinFor busy-waits, standing in for a short compute kernel without
+// yielding the worker goroutine the way time.Sleep would.
+func spinFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+// runSchedGraph executes one contention-benchmark graph and returns the
+// report; shared by the benchmarks and the CI smoke test.
+func runSchedGraph(g *ptg.Graph, workers int, q runtime.QueueMode) (runtime.Report, error) {
+	return runtime.Run(g, runtime.Config{Workers: workers, Queues: q})
+}
+
+// BenchmarkSchedFanout measures scheduler dispatch overhead on a
+// 2048-task fan-out across the Fig 9-style worker sweep; "ns/task" is
+// wall time per executed task (lower = less scheduler contention).
+func BenchmarkSchedFanout(b *testing.B) {
+	const tasks = 2048
+	g := schedFanoutGraph(tasks, time.Microsecond)
+	for _, mode := range schedQueueModes {
+		for _, workers := range schedWorkerSweep {
+			mode, workers := mode, workers
+			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, workers), func(b *testing.B) {
+				var rep runtime.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = runSchedGraph(g, workers, mode.q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Tasks != tasks+1 {
+						b.Fatalf("tasks = %d, want %d", rep.Tasks, tasks+1)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rep.Tasks), "ns/task")
+			})
+		}
+	}
+}
+
+// BenchmarkSchedChains measures the same sweep on 64 dependency chains
+// of 32 steps each: every completion triggers a delivery, so this path
+// stresses completion/dataflow next to dispatch.
+func BenchmarkSchedChains(b *testing.B) {
+	const chains, length = 64, 32
+	g := schedChainsGraph(chains, length, time.Microsecond)
+	for _, mode := range schedQueueModes {
+		for _, workers := range schedWorkerSweep {
+			mode, workers := mode, workers
+			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, workers), func(b *testing.B) {
+				var rep runtime.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = runSchedGraph(g, workers, mode.q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Tasks != chains*length {
+						b.Fatalf("tasks = %d, want %d", rep.Tasks, chains*length)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rep.Tasks), "ns/task")
+			})
+		}
 	}
 }
 

@@ -8,6 +8,12 @@
 //
 //	ccsim [-preset betacarotene] [-nodes 32] [-cores 1,3,7,11,15]
 //	      [-variants original,v1,v2,v3,v4,v5] [-csv out.csv] [-quick]
+//	      [-sched [-schedworkers 1,2,4,8]]
+//
+// -sched switches to the shared-memory scheduler sweep: the variants run
+// with real arithmetic on the goroutine runtime across every ready-queue
+// mode and the -schedworkers counts, printing the scheduler counters
+// (steals, parks, wakes, queue depth, load imbalance) instead of Fig 9.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"parsec/internal/cluster"
 	"parsec/internal/metrics"
 	"parsec/internal/molecule"
+	"parsec/internal/runtime"
 	"parsec/internal/sim"
 	"parsec/internal/tce"
 )
@@ -36,11 +43,18 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	sweep := flag.String("sweep", "", "run an ablation sweep instead of the Fig 9 table: gaservice, nic, contention, stride, segheight")
 	sweepCores := flag.Int("sweepcores", 7, "cores/node used by -sweep runs")
+	sched := flag.Bool("sched", false, "run the shared-memory scheduler sweep (real execution) and print per-queue-mode scheduler stats")
+	schedWorkers := flag.String("schedworkers", "1,2,4,8", "comma-separated worker counts for -sched")
 	flag.Parse()
 
 	if *quick {
 		*preset = "benzene"
 		*nodes = 8
+	}
+	if *sched && !flagWasSet("preset") && !*quick {
+		// Real arithmetic at beta-carotene scale takes minutes per cell;
+		// the scheduler sweep defaults to the small system.
+		*preset = "water"
 	}
 	sys, err := molecule.Preset(*preset)
 	if err != nil {
@@ -51,6 +65,17 @@ func main() {
 		fatal(err)
 	}
 	names := strings.Split(*variants, ",")
+
+	if *sched {
+		workerCounts, err := parseInts(*schedWorkers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSchedSweep(sys, names, workerCounts); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	mcfg := cluster.CascadeLike()
 	mcfg.Nodes = *nodes
@@ -122,6 +147,76 @@ func runOne(sys *molecule.System, name string, mcfg cluster.Config, cores int) (
 	}
 	res, err := ccsd.RunSim(sys, spec, mcfg, ccsd.SimRunConfig{CoresPerNode: cores})
 	return res.Makespan.Seconds(), err
+}
+
+// runSchedSweep executes the requested variants on the shared-memory
+// goroutine runtime with real arithmetic, across every ready-queue mode
+// and worker count, and prints the scheduler counters (steals, parks,
+// wakes, queue depth, load imbalance) — the intra-node §IV-D behavior
+// the distributed simulation abstracts away.
+func runSchedSweep(sys *molecule.System, names []string, workerCounts []int) error {
+	w := tce.Inspect(tce.T2_7(sys), nil)
+	fmt.Printf("system: %v\n", sys)
+	fmt.Printf("workload: %v\n\n", w.Stats())
+
+	modes := []struct {
+		name string
+		q    runtime.QueueMode
+	}{
+		{"shared", runtime.SharedQueue},
+		{"pinned", runtime.PerWorker},
+		{"pinned-steal", runtime.PerWorkerSteal},
+	}
+	tbl := &metrics.SchedTable{
+		Title: fmt.Sprintf("shared-memory scheduler sweep on %s (real execution, wall seconds)", sys.Name),
+	}
+	ref := ccsd.ReferenceEnergy(w)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "original" {
+			continue // the baseline has no PTG to schedule
+		}
+		spec, err := ccsd.VariantByName(name)
+		if err != nil {
+			return err
+		}
+		for _, m := range modes {
+			for _, workers := range workerCounts {
+				res, err := ccsd.RunRealQueued(w, spec, workers, m.q)
+				if err != nil {
+					return fmt.Errorf("%s/%s @%d workers: %w", name, m.name, workers, err)
+				}
+				if d := res.Energy - ref; d > 1e-9 || d < -1e-9 {
+					return fmt.Errorf("%s/%s @%d workers: energy drift %g", name, m.name, workers, d)
+				}
+				rep := res.Report
+				tbl.Add(metrics.SchedRow{
+					Config:         fmt.Sprintf("%s/%s", name, m.name),
+					Workers:        rep.Workers,
+					Tasks:          rep.Tasks,
+					Seconds:        rep.Elapsed.Seconds(),
+					StealAttempts:  rep.Sched.StealAttempts,
+					Steals:         rep.Sched.Steals,
+					Parks:          rep.Sched.Parks,
+					Wakes:          rep.Sched.Wakes,
+					MaxQueueDepth:  rep.Sched.MaxQueueDepth,
+					PerWorkerTasks: rep.Sched.PerWorkerTasks,
+				})
+			}
+		}
+	}
+	return tbl.WriteTable(os.Stdout)
+}
+
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func parseInts(s string) ([]int, error) {

@@ -110,7 +110,7 @@ func TestSegmentHeightAblationMatchesReference(t *testing.T) {
 func buildAndRunWithHeight(t *testing.T, w *tce.Workload, spec VariantSpec, h int) float64 {
 	t.Helper()
 	// RunReal with a custom segment height.
-	res, err := runRealWithOptions(w, spec, 4, h)
+	res, err := runRealWithOptions(w, spec, 4, h, runtime.SharedQueue)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -516,24 +516,28 @@ func (b *builder) buildWrite() {
 		})
 	}
 	if store := b.opts.Store; store != nil {
+		// ADD_HASH_BLOCK semantics, but through the store's ordered
+		// accumulation: contributions to a C block are folded in task
+		// creation order (ctx.Seq), not completion order, so the energy
+		// is bitwise identical under every scheduler configuration.
 		if !b.spec.ParallelWrites && span > 1 {
 			tc.Body = func(ctx *ptg.Ctx) {
 				p := b.ps[ctx.Args[0]]
 				seg := ctx.Args[1]
 				n := p.meta.Out.Elems()
 				lo, hi := seg*n/span, (seg+1)*n/span
-				for _, in := range ctx.In {
+				for fi, in := range ctx.In {
 					if t, ok := in.(*tensor.Tile4); ok {
-						store.AccRange(tce.TensorC, p.meta.Out.Key, t, 1, lo, hi)
+						store.AccOrdered(tce.TensorC, p.meta.Out.Key, t, 1, ctx.Seq*len(ctx.In)+fi, lo, hi)
 					}
 				}
 			}
 		} else {
 			tc.Body = func(ctx *ptg.Ctx) {
 				key := b.ps[ctx.Args[0]].meta.Out.Key
-				for _, in := range ctx.In {
+				for fi, in := range ctx.In {
 					if t, ok := in.(*tensor.Tile4); ok {
-						store.AddHashBlock(tce.TensorC, key, t, 1)
+						store.AccOrdered(tce.TensorC, key, t, 1, ctx.Seq*len(ctx.In)+fi, 0, t.Len())
 					}
 				}
 			}

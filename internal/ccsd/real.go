@@ -17,13 +17,20 @@ type RealResult struct {
 // functional of the output. All variants must agree with the serial
 // reference to ~14 digits (§IV-A).
 func RunReal(w *tce.Workload, spec VariantSpec, workers int) (RealResult, error) {
-	return runRealWithOptions(w, spec, workers, 0)
+	return runRealWithOptions(w, spec, workers, 0, runtime.SharedQueue)
+}
+
+// RunRealQueued is RunReal with an explicit ready-queue structure, for
+// comparing the shared queue against PaRSEC-style per-worker queues
+// (§IV-D) on the real workload rather than a microbenchmark.
+func RunRealQueued(w *tce.Workload, spec VariantSpec, workers int, queue runtime.QueueMode) (RealResult, error) {
+	return runRealWithOptions(w, spec, workers, 0, queue)
 }
 
 // runRealWithOptions additionally overrides the GEMM segment height
 // (<= 0 keeps the variant default), for the §IV-A locality/parallelism
 // ablation.
-func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight int) (RealResult, error) {
+func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode) (RealResult, error) {
 	store := ga.NewStore(1)
 	aName, bName := w.InputTensors()
 	a := store.Create(aName)
@@ -41,7 +48,7 @@ func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight in
 	if !spec.UsePriorities {
 		policy = runtime.LIFOOrder
 	}
-	rep, err := runtime.Run(g, runtime.Config{Workers: workers, Policy: policy})
+	rep, err := runtime.Run(g, runtime.Config{Workers: workers, Policy: policy, Queues: queue})
 	if err != nil {
 		return RealResult{}, err
 	}

@@ -15,6 +15,7 @@ package ga
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -52,13 +53,29 @@ type Store struct {
 	tensors map[string]*tensor.BlockTensor4
 	counter atomic.Int64
 	rangeMu sync.Mutex // serializes AccRange segment updates
+
+	accMu   sync.Mutex // guards pending ordered accumulations
+	pending map[string]map[tensor.BlockKey][]orderedAcc
+}
+
+// orderedAcc is one buffered AccOrdered contribution awaiting the
+// deterministic fold performed by Array.
+type orderedAcc struct {
+	tag    int
+	lo, hi int
+	scale  float64
+	src    *tensor.Tile4
 }
 
 // NewStore returns a store distributed (logically) over the given number
 // of nodes. The node count only affects Owner queries; data lives in one
 // address space.
 func NewStore(nodes int) *Store {
-	return &Store{dist: Distribution{Nodes: nodes}, tensors: make(map[string]*tensor.BlockTensor4)}
+	return &Store{
+		dist:    Distribution{Nodes: nodes},
+		tensors: make(map[string]*tensor.BlockTensor4),
+		pending: make(map[string]map[tensor.BlockKey][]orderedAcc),
+	}
 }
 
 // Distribution returns the store's placement function.
@@ -82,6 +99,7 @@ func (s *Store) Array(name string) *tensor.BlockTensor4 {
 	if !ok {
 		panic(fmt.Sprintf("ga: no array %q", name))
 	}
+	s.flushOrdered(name, bt)
 	return bt
 }
 
@@ -119,6 +137,58 @@ func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, sc
 		dst.Data[i] += scale * src.Data[i]
 	}
 	s.rangeMu.Unlock()
+}
+
+// AccOrdered buffers an ADD_HASH_BLOCK-style accumulation of
+// scale*src[lo:hi], tagged with a schedule-independent ordinal (the
+// runtime passes the task instance's creation sequence). The buffered
+// contributions are folded into the block in ascending (tag, lo) order
+// the next time the array is read through Array, so the resulting
+// floats are bitwise identical for every worker count, queue mode, and
+// scheduling policy — the "ordered reduce" invariance of DESIGN §6,
+// which a sharded scheduler can no longer get for free from lock
+// serialization. The caller must not mutate src afterwards.
+func (s *Store) AccOrdered(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, tag, lo, hi int) {
+	if lo < 0 || hi > src.Len() || lo > hi {
+		panic(fmt.Sprintf("ga: AccOrdered [%d,%d) of %d elements", lo, hi, src.Len()))
+	}
+	s.accMu.Lock()
+	m := s.pending[name]
+	if m == nil {
+		m = make(map[tensor.BlockKey][]orderedAcc)
+		s.pending[name] = m
+	}
+	m[key] = append(m[key], orderedAcc{tag: tag, lo: lo, hi: hi, scale: scale, src: src})
+	s.accMu.Unlock()
+}
+
+// flushOrdered folds the named array's buffered contributions. Blocks
+// are independent storage, so only the within-block order matters; that
+// order is fixed by the (tag, lo) sort. Deterministic results require
+// that all AccOrdered calls happened-before the triggering read (i.e.
+// the graph reached quiescence), which the runtime guarantees.
+func (s *Store) flushOrdered(name string, bt *tensor.BlockTensor4) {
+	s.accMu.Lock()
+	m := s.pending[name]
+	delete(s.pending, name)
+	s.accMu.Unlock()
+	if len(m) == 0 {
+		return
+	}
+	for key, accs := range m {
+		sort.Slice(accs, func(i, j int) bool {
+			if accs[i].tag != accs[j].tag {
+				return accs[i].tag < accs[j].tag
+			}
+			return accs[i].lo < accs[j].lo
+		})
+		dst := bt.GetOrCreate(key, accs[0].src.Dim)
+		for _, a := range accs {
+			for i := a.lo; i < a.hi; i++ {
+				dst.Data[i] += a.scale * a.src.Data[i]
+			}
+		}
+	}
 }
 
 // NxtVal atomically fetches-and-increments the shared work-stealing

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SchedRow is one shared-memory scheduler measurement: a (configuration,
+// worker count) cell with the counters the sharded runtime reports
+// (runtime.SchedStats). It is a plain value so this package stays a
+// formatter with no dependency on the runtime.
+type SchedRow struct {
+	Config  string // e.g. "pinned-steal" or "v5/shared"
+	Workers int
+	Tasks   int
+	Seconds float64
+
+	StealAttempts int64
+	Steals        int64
+	Parks         int64
+	Wakes         int64
+	MaxQueueDepth int
+	// PerWorkerTasks feeds the imbalance column; may be nil.
+	PerWorkerTasks []int64
+}
+
+// Imbalance returns max/mean of the per-worker task counts: 1.0 is a
+// perfectly even split, W means one worker did everything. Returns 0
+// when per-worker counts are unavailable.
+func (r SchedRow) Imbalance() float64 {
+	if len(r.PerWorkerTasks) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, n := range r.PerWorkerTasks {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(r.PerWorkerTasks))
+	return float64(max) / mean
+}
+
+// StealHitRate returns the fraction of steal probes that won a task, or
+// 0 when no probes happened (non-stealing modes).
+func (r SchedRow) StealHitRate() float64 {
+	if r.StealAttempts == 0 {
+		return 0
+	}
+	return float64(r.Steals) / float64(r.StealAttempts)
+}
+
+// SchedTable accumulates scheduler measurements across configurations,
+// the shared-memory analogue of the Fig 9 sweep: instead of simulated
+// execution time per cores/node it reports the intra-node scheduling
+// behavior the paper discusses in §IV-C/§IV-D (priority queues, work
+// stealing between the per-thread ready queues).
+type SchedTable struct {
+	Title string
+	Rows  []SchedRow
+}
+
+// Add appends a row.
+func (t *SchedTable) Add(r SchedRow) { t.Rows = append(t.Rows, r) }
+
+// WriteTable renders the measurements as an aligned text table.
+func (t *SchedTable) WriteTable(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	header := fmt.Sprintf("%-20s %7s %8s %9s %14s %7s %7s %8s %9s",
+		"config", "workers", "tasks", "time-s", "steals", "parks", "wakes", "maxdepth", "imbalance")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		steals := "-"
+		if r.StealAttempts > 0 {
+			steals = fmt.Sprintf("%d/%d", r.Steals, r.StealAttempts)
+		}
+		imb := "-"
+		if v := r.Imbalance(); v > 0 {
+			imb = fmt.Sprintf("%.2f", v)
+		}
+		if _, err := fmt.Fprintf(w, "%-20s %7d %8d %9.3f %14s %7d %7d %8d %9s\n",
+			r.Config, r.Workers, r.Tasks, r.Seconds, steals, r.Parks, r.Wakes, r.MaxQueueDepth, imb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the measurements as CSV, one row per measurement.
+func (t *SchedTable) WriteCSV(w io.Writer) error {
+	cols := []string{"config", "workers", "tasks", "seconds",
+		"steal_attempts", "steals", "parks", "wakes", "max_queue_depth", "imbalance"}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		row := []string{
+			r.Config,
+			fmt.Sprint(r.Workers),
+			fmt.Sprint(r.Tasks),
+			fmt.Sprintf("%.6f", r.Seconds),
+			fmt.Sprint(r.StealAttempts),
+			fmt.Sprint(r.Steals),
+			fmt.Sprint(r.Parks),
+			fmt.Sprint(r.Wakes),
+			fmt.Sprint(r.MaxQueueDepth),
+			fmt.Sprintf("%.4f", r.Imbalance()),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -125,6 +125,10 @@ type Cost struct {
 type Ctx struct {
 	Args Args
 	Node int
+	// Seq is the executing instance's deterministic creation ordinal
+	// (Instance.Seq): schedule-independent, so bodies can use it to tag
+	// order-sensitive side effects such as ordered accumulations.
+	Seq int
 	// In holds the payload received on each flow (indexed like
 	// TaskClass.Flows); nil for inactive flows and for New buffers of the
 	// sim-only path.

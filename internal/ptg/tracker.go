@@ -1,6 +1,10 @@
 package ptg
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // InstState is the lifecycle state of a task instance.
 type InstState int
@@ -22,6 +26,14 @@ func (s InstState) String() string {
 type NewBuffer struct{ Bytes int64 }
 
 // Instance is one task instance with its dataflow bookkeeping.
+//
+// State is a plain field, not an atomic, by contract: transitions to
+// StateReady happen under the tracker mutex and are published to the
+// dequeuing executor through its ready-queue lock (the push
+// happens-after the state write, the pop happens-before Start's read);
+// Start and Complete run on the executing worker only. In a correct
+// execution no two goroutines touch State concurrently, so the hot path
+// pays no locked instructions for it.
 type Instance struct {
 	Ref      TaskRef
 	Class    *TaskClass
@@ -66,13 +78,17 @@ type TerminalWrite struct {
 // Tracker materializes a graph's instances and tracks dataflow readiness.
 // It is the engine both executors drive: Complete(task) returns the
 // deliveries its outputs trigger; Deliver(payload) marks an input
-// satisfied and reports newly ready tasks. The tracker is not
-// goroutine-safe; concurrent executors must serialize access.
+// satisfied and reports newly ready tasks. The state-transition methods
+// (Start, Complete, Deliver, CheckQuiescent) synchronize on the
+// tracker's own mutex, so concurrent executors can call them directly
+// without holding any scheduler lock; Done and Remaining are lock-free.
 type Tracker struct {
 	G         *Graph
 	instances map[TaskRef]*Instance
 	order     []*Instance
-	remaining int
+
+	mu        sync.Mutex // guards instance state transitions + completed
+	remaining atomic.Int64
 	completed int
 }
 
@@ -127,7 +143,7 @@ func NewTracker(g *Graph) (*Tracker, error) {
 			t.order = append(t.order, inst)
 		})
 	}
-	t.remaining = len(t.order)
+	t.remaining.Store(int64(len(t.order)))
 	return t, nil
 }
 
@@ -145,10 +161,10 @@ func matchIn(f *Flow, a Args) (InDep, bool) {
 func (t *Tracker) NumInstances() int { return len(t.order) }
 
 // Remaining returns the number of instances not yet completed.
-func (t *Tracker) Remaining() int { return t.remaining }
+func (t *Tracker) Remaining() int { return int(t.remaining.Load()) }
 
 // Done reports whether every instance has completed.
-func (t *Tracker) Done() bool { return t.remaining == 0 }
+func (t *Tracker) Done() bool { return t.remaining.Load() == 0 }
 
 // Instance returns the instance for a reference, or nil.
 func (t *Tracker) Instance(ref TaskRef) *Instance { return t.instances[ref] }
@@ -170,7 +186,9 @@ func (t *Tracker) InitialReady() []*Instance {
 }
 
 // Start marks a ready instance as running. Executors call it when they
-// dequeue a task; it guards against double-scheduling.
+// dequeue a task; it guards against double-scheduling. It takes no lock:
+// an instance reaches StateReady exactly once and only the dequeuer that
+// popped it may claim it (see the Instance.State contract).
 func (t *Tracker) Start(in *Instance) error {
 	if in.State != StateReady {
 		return fmt.Errorf("ptg: Start(%v) in state %v", in.Ref, in.State)
@@ -183,11 +201,13 @@ func (t *Tracker) Start(in *Instance) error {
 // instance done and evaluates its output dependencies. It returns the
 // deliveries to perform and the terminal writes its flows are bound to.
 func (t *Tracker) Complete(in *Instance) ([]Delivery, []TerminalWrite, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if in.State != StateRunning && in.State != StateReady {
 		return nil, nil, fmt.Errorf("ptg: Complete(%v) in state %v", in.Ref, in.State)
 	}
 	in.State = StateDone
-	t.remaining--
+	t.remaining.Add(-1)
 	t.completed++
 	var dels []Delivery
 	var writes []TerminalWrite
@@ -226,6 +246,37 @@ func (t *Tracker) Complete(in *Instance) ([]Delivery, []TerminalWrite, error) {
 // Deliver satisfies one task-sourced input of an instance with a payload.
 // It returns true if the instance became ready.
 func (t *Tracker) Deliver(to *Instance, flowIdx int, payload any) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deliverLocked(to, flowIdx, payload)
+}
+
+// DeliverAll performs every delivery of one completion under a single
+// lock acquisition, taking each payload from outs[d.FromFlow] (the
+// completed task's Ctx.Out). It returns the instances that became ready,
+// in delivery order. One lock per completion instead of one per edge
+// matters on wide fan-outs, where a single task releases thousands of
+// successors.
+func (t *Tracker) DeliverAll(dels []Delivery, outs []any) ([]*Instance, error) {
+	if len(dels) == 0 {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ready []*Instance
+	for _, d := range dels {
+		ok, err := t.deliverLocked(d.To, d.ToFlow, outs[d.FromFlow])
+		if err != nil {
+			return ready, err
+		}
+		if ok {
+			ready = append(ready, d.To)
+		}
+	}
+	return ready, nil
+}
+
+func (t *Tracker) deliverLocked(to *Instance, flowIdx int, payload any) (bool, error) {
 	if to.State == StateDone || to.State == StateRunning {
 		return false, fmt.Errorf("ptg: Deliver to %v in state %v", to.Ref, to.State)
 	}
@@ -250,17 +301,67 @@ func (t *Tracker) Deliver(to *Instance, flowIdx int, payload any) (bool, error) 
 	return false, nil
 }
 
+// CompleteDeliver is Complete followed by DeliverAll, fused into a
+// single lock acquisition and no intermediate Delivery slice: the hot
+// path of the shared-memory runtime, where every completion would
+// otherwise pay two lock round-trips plus an allocation. Each output
+// dependency's payload is taken from outs (the task's Ctx.Out, indexed
+// by producer flow). Newly ready successors are appended to ready — a
+// caller-owned scratch buffer, so steady state allocates nothing — and
+// the extended slice is returned. Terminal writes are not reported:
+// shared-memory bodies perform their own Global Array updates.
+func (t *Tracker) CompleteDeliver(in *Instance, outs []any, ready []*Instance) ([]*Instance, error) {
+	if in.State != StateRunning && in.State != StateReady {
+		return ready, fmt.Errorf("ptg: Complete(%v) in state %v", in.Ref, in.State)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	in.State = StateDone
+	t.remaining.Add(-1)
+	t.completed++
+	a := in.Ref.Args
+	for fi, f := range in.Class.Flows {
+		for _, out := range f.Outs {
+			if out.Guard != nil && !out.Guard(a) {
+				continue
+			}
+			if out.Data != nil {
+				continue
+			}
+			toRef, toFlowName := out.Consumer(a)
+			to := t.instances[toRef]
+			if to == nil {
+				return ready, fmt.Errorf("ptg: %v flow %s targets nonexistent task %v", in.Ref, f.Name, toRef)
+			}
+			toFlow, ok := to.Class.FlowIndex(toFlowName)
+			if !ok {
+				return ready, fmt.Errorf("ptg: %v flow %s targets nonexistent flow %s.%s", in.Ref, f.Name, toRef.Class, toFlowName)
+			}
+			became, err := t.deliverLocked(to, toFlow, outs[fi])
+			if err != nil {
+				return ready, err
+			}
+			if became {
+				ready = append(ready, to)
+			}
+		}
+	}
+	return ready, nil
+}
+
 // CheckQuiescent verifies the terminal invariant: every instance done.
 // It returns a descriptive error naming a stuck instance otherwise.
 func (t *Tracker) CheckQuiescent() error {
-	if t.remaining == 0 {
+	if t.remaining.Load() == 0 {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, in := range t.order {
 		if in.State != StateDone {
 			return fmt.Errorf("ptg: %d task(s) incomplete; first: %v (pending inputs: %d)",
-				t.remaining, in.Ref, in.pending)
+				t.remaining.Load(), in.Ref, in.pending)
 		}
 	}
-	return fmt.Errorf("ptg: remaining=%d but all instances done (accounting bug)", t.remaining)
+	return fmt.Errorf("ptg: remaining=%d but all instances done (accounting bug)", t.remaining.Load())
 }

@@ -1,0 +1,60 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"parsec/internal/ptg"
+)
+
+func benchFanout(n int) *ptg.Graph {
+	g := ptg.NewGraph("bench-fanout")
+	src := g.Class("SRC")
+	src.Domain = func(emit func(ptg.Args)) { emit(ptg.A1(0)) }
+	f := src.AddFlow("D", ptg.Write)
+	f.InNew(nil, func(a ptg.Args) int64 { return 8 })
+	for i := 0; i < n; i++ {
+		i := i
+		f.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "LEAF", Args: ptg.A1(i)}, "D"
+		})
+	}
+	src.Body = func(ctx *ptg.Ctx) { ctx.Out[0] = 1 }
+	leaf := g.Class("LEAF")
+	leaf.Domain = func(emit func(ptg.Args)) {
+		for i := 0; i < n; i++ {
+			emit(ptg.A1(i))
+		}
+	}
+	leaf.AddFlow("D", ptg.Read).
+		In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "SRC", Args: ptg.A1(0)}, "D"
+		})
+	leaf.Body = func(ctx *ptg.Ctx) {}
+	return g
+}
+
+func BenchmarkDispatchFanout(b *testing.B) {
+	const tasks = 2048
+	g := benchFanout(tasks)
+	for _, mode := range []struct {
+		name string
+		q    QueueMode
+	}{{"shared", SharedQueue}, {"pinned", PerWorker}, {"pinned-steal", PerWorkerSteal}} {
+		for _, workers := range []int{1, 4, 8, 16} {
+			mode, workers := mode, workers
+			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := Run(g, Config{Workers: workers, Queues: mode.q})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Tasks != tasks+1 {
+						b.Fatal("bad task count")
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks+1), "ns/task")
+			})
+		}
+	}
+}

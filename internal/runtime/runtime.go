@@ -5,6 +5,15 @@
 // delivering payloads to successors, and dispatching newly ready tasks to
 // workers in priority order.
 //
+// The scheduler is sharded the way PaRSEC's per-thread ready queues are
+// (§IV-D): each worker owns a mutex-protected priority deque and pushes,
+// pops, and is stolen from under that shard's lock only. Idle workers
+// park on per-worker wake channels instead of a global condition
+// broadcast, and PerWorkerSteal performs randomized victim selection that
+// locks one victim at a time. Completion and dataflow delivery run on the
+// tracker's own synchronization (see ptg.Tracker), so task bodies and
+// successor activation never serialize against dispatch.
+//
 // The distributed, simulated-machine counterpart is internal/simexec;
 // both consume the same graphs.
 package runtime
@@ -14,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsec/internal/ptg"
@@ -52,6 +62,16 @@ const (
 	PerWorkerSteal
 )
 
+func (q QueueMode) String() string {
+	switch q {
+	case PerWorker:
+		return "pinned"
+	case PerWorkerSteal:
+		return "pinned-steal"
+	}
+	return "shared"
+}
+
 // Event records one task execution for tracing.
 type Event struct {
 	Task   ptg.TaskRef
@@ -72,6 +92,29 @@ type Config struct {
 	Observer func(Event)
 }
 
+// SchedStats exposes the scheduler's internal counters for one run,
+// the shared-memory analogue of the per-thread-queue behavior the paper
+// discusses in §IV-D (work stealing inside the node).
+type SchedStats struct {
+	// StealAttempts counts victim probes by workers whose own deque was
+	// empty (PerWorkerSteal only); Steals counts probes that won a task.
+	StealAttempts int64
+	Steals        int64
+	// Parks counts workers going to sleep; Wakes counts unpark tokens
+	// delivered by enqueuers (stop-time broadcasts are not counted).
+	Parks int64
+	Wakes int64
+	// PerWorkerTasks is the number of task bodies each worker executed.
+	PerWorkerTasks []int64
+	// MaxQueueDepth is the deepest any single shard grew.
+	MaxQueueDepth int
+}
+
+func (s SchedStats) String() string {
+	return fmt.Sprintf("steals %d/%d, parks %d, wakes %d, max queue depth %d",
+		s.Steals, s.StealAttempts, s.Parks, s.Wakes, s.MaxQueueDepth)
+}
+
 // Report summarizes a completed run.
 type Report struct {
 	Tasks    int
@@ -79,6 +122,7 @@ type Report struct {
 	Workers  int
 	Elapsed  time.Duration
 	BusyTime time.Duration // summed task execution time across workers
+	Sched    SchedStats
 }
 
 func (r Report) String() string {
@@ -107,6 +151,51 @@ func (h *readyHeap) Pop() any {
 	return x
 }
 
+// shard is one mutex-protected ready deque. SharedQueue uses a single
+// shard all workers pop from; the per-worker modes give each worker its
+// own. The stack is only used by SharedQueue+LIFOOrder (the per-worker
+// modes always order by priority, as before the sharding).
+type shard struct {
+	mu       sync.Mutex
+	heap     readyHeap
+	stack    []*ptg.Instance
+	maxDepth int
+	// size is a lock-free emptiness hint for steal victim selection and
+	// park rechecks. It is only written when the shard flips between
+	// empty and nonempty, so steady-state pushes and pops pay no locked
+	// instruction for it; between flips it may understate the depth but
+	// never misreports emptiness.
+	size atomic.Int64
+	_    [40]byte // pad to a cache line against false sharing
+}
+
+// workerState holds one worker's parking slot and private counters.
+// Counters are written only by the owning worker (or, for parked, via
+// atomics) and read after all workers have joined.
+type workerState struct {
+	park      chan struct{} // buffered(1): wake tokens coalesce, never drop
+	parked    atomic.Bool
+	rng       uint64
+	tasks     int64
+	parks     int64
+	probes    int64 // steal attempts
+	steals    int64
+	busy      time.Duration
+	parkedFor time.Duration // time spent blocked in park (coarse busy accounting)
+	byClass   map[string]int
+	scratch   []*ptg.Instance   // reusable ready-successor buffer
+	buckets   [][]*ptg.Instance // reusable per-shard batch buckets
+}
+
+func (ws *workerState) nextRand() uint64 {
+	x := ws.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	ws.rng = x
+	return x
+}
+
 // Run executes the graph to completion and returns a report. Execution is
 // aborted with an error if a task body panics or the graph deadlocks.
 func Run(g *ptg.Graph, cfg Config) (Report, error) {
@@ -118,20 +207,35 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	nshards := workers
+	if cfg.Queues == SharedQueue {
+		nshards = 1
+	}
 
 	r := &runner{
-		tr:           tr,
-		cfg:          cfg,
-		byClass:      make(map[string]int),
-		workersCount: workers,
-		start:        time.Now(),
+		tr:     tr,
+		cfg:    cfg,
+		shards: make([]shard, nshards),
+		ws:     make([]workerState, workers),
+		start:  time.Now(),
 	}
-	r.cond = sync.NewCond(&r.mu)
-	if cfg.Queues != SharedQueue {
-		r.perWorker = make([]readyHeap, workers)
+	for i := range r.ws {
+		r.ws[i].park = make(chan struct{}, 1)
+		r.ws[i].rng = uint64(i)*0x9E3779B97F4A7C15 + 1
+		r.ws[i].byClass = make(map[string]int)
 	}
-	for _, in := range tr.InitialReady() {
-		r.enqueueLocked(in)
+
+	initial := tr.InitialReady()
+	r.pending.Store(int64(len(initial)))
+	r.enqueueBatch(&r.ws[0], initial) // workers not yet started; safe to borrow
+	if len(initial) == 0 {
+		if !tr.Done() {
+			// Nothing can ever become ready: no task has all inputs
+			// satisfied and no completion will fire.
+			return Report{Workers: workers, ByClass: map[string]int{}},
+				fmt.Errorf("runtime: deadlock with %d tasks remaining", tr.Remaining())
+		}
+		r.stop.Store(true) // empty graph
 	}
 
 	var wg sync.WaitGroup
@@ -149,12 +253,30 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 			r.err = qerr
 		}
 	}
+
 	rep := Report{
-		Tasks:    tr.NumInstances() - tr.Remaining(),
-		ByClass:  r.byClass,
-		Workers:  workers,
-		Elapsed:  time.Since(r.start),
-		BusyTime: r.busy,
+		Tasks:   tr.NumInstances() - tr.Remaining(),
+		ByClass: make(map[string]int),
+		Workers: workers,
+		Elapsed: time.Since(r.start),
+		Sched:   SchedStats{PerWorkerTasks: make([]int64, workers)},
+	}
+	for i := range r.ws {
+		ws := &r.ws[i]
+		rep.BusyTime += ws.busy
+		rep.Sched.PerWorkerTasks[i] = ws.tasks
+		rep.Sched.Parks += ws.parks
+		rep.Sched.StealAttempts += ws.probes
+		rep.Sched.Steals += ws.steals
+		for c, n := range ws.byClass {
+			rep.ByClass[c] += n
+		}
+	}
+	rep.Sched.Wakes = r.wakes.Load()
+	for i := range r.shards {
+		if d := r.shards[i].maxDepth; d > rep.Sched.MaxQueueDepth {
+			rep.Sched.MaxQueueDepth = d
+		}
 	}
 	return rep, r.err
 }
@@ -163,208 +285,394 @@ type runner struct {
 	tr  *ptg.Tracker
 	cfg Config
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	heap         readyHeap // SharedQueue + PriorityOrder
-	stack        []*ptg.Instance
-	perWorker    []readyHeap // PerWorker / PerWorkerSteal
-	idle         int
-	inflight     int // tasks between Start and Complete
-	workersCount int
-	stopped      bool
-	err          error
+	shards []shard
+	ws     []workerState
 
-	byClass map[string]int
-	busy    time.Duration
-	start   time.Time
+	// pending counts tasks that are ready-queued or running: incremented
+	// before a task is enqueued, decremented only after its completion
+	// has enqueued every successor it made ready. The worker that drives
+	// it to zero owns termination: graph done, or deadlock.
+	pending atomic.Int64
+	stop    atomic.Bool
+	wakes   atomic.Int64
+	// nparked counts workers currently parked, letting enqueuers skip the
+	// wake scan entirely when every worker is busy (the common case on a
+	// loaded system). A worker increments it after publishing parked and
+	// before its recheck; whoever flips parked back to false decrements.
+	// Sequentially consistent atomics make this a Dekker pair with the
+	// shard size mirrors: an enqueuer either sees the parker, or the
+	// parker's recheck sees the enqueued work.
+	nparked atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+
+	start time.Time
 }
 
-func (r *runner) enqueueLocked(in *ptg.Instance) {
-	switch {
-	case r.cfg.Queues != SharedQueue:
-		w := in.Seq % len(r.perWorker)
-		heap.Push(&r.perWorker[w], in)
-		// The pinned (or stealing) worker may be any of the sleepers.
-		r.cond.Broadcast()
+// shardFor returns the shard index a ready instance is pinned to.
+func (r *runner) shardFor(in *ptg.Instance) int {
+	if r.cfg.Queues == SharedQueue {
+		return 0
+	}
+	return in.Seq % len(r.shards)
+}
+
+// pushLocked appends an instance to a shard; the caller holds s.mu.
+func (r *runner) pushLocked(s *shard, in *ptg.Instance) {
+	var depth int
+	if r.cfg.Queues == SharedQueue && r.cfg.Policy == LIFOOrder {
+		s.stack = append(s.stack, in)
+		depth = len(s.stack)
+	} else {
+		heap.Push(&s.heap, in)
+		depth = len(s.heap)
+	}
+	if depth > s.maxDepth {
+		s.maxDepth = depth
+	}
+	if depth == 1 {
+		s.size.Store(1) // empty -> nonempty flip
+	}
+}
+
+// enqueue pushes a ready instance onto its shard and wakes a worker that
+// can run it. Only the shard's own lock is held during the push.
+func (r *runner) enqueue(in *ptg.Instance) {
+	si := r.shardFor(in)
+	s := &r.shards[si]
+	s.mu.Lock()
+	r.pushLocked(s, in)
+	s.mu.Unlock()
+	r.wakeFor(si)
+}
+
+// enqueueBatch pushes all successors released by one completion, locking
+// each destination shard once rather than once per task, then wakes
+// enough workers to absorb the batch. ws provides reusable per-shard
+// buckets so the single grouping pass allocates nothing in steady state.
+func (r *runner) enqueueBatch(ws *workerState, ins []*ptg.Instance) {
+	if len(ins) == 0 {
 		return
-	case r.cfg.Policy == LIFOOrder:
-		r.stack = append(r.stack, in)
-	default:
-		heap.Push(&r.heap, in)
 	}
-	r.cond.Signal()
+	if len(ins) == 1 {
+		r.enqueue(ins[0])
+		return
+	}
+	nsh := len(r.shards)
+	if nsh == 1 {
+		s := &r.shards[0]
+		s.mu.Lock()
+		for _, in := range ins {
+			r.pushLocked(s, in)
+		}
+		s.mu.Unlock()
+	} else {
+		if len(ws.buckets) != nsh {
+			ws.buckets = make([][]*ptg.Instance, nsh)
+		}
+		for _, in := range ins {
+			b := in.Seq % nsh
+			ws.buckets[b] = append(ws.buckets[b], in)
+		}
+		for si, bucket := range ws.buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			s := &r.shards[si]
+			s.mu.Lock()
+			for _, in := range bucket {
+				r.pushLocked(s, in)
+			}
+			s.mu.Unlock()
+			ws.buckets[si] = bucket[:0]
+		}
+	}
+	r.wakeBatch(len(ins))
 }
 
-// dequeueLocked pops the next task for the given worker.
-func (r *runner) dequeueLocked(wid int) *ptg.Instance {
-	if r.cfg.Queues != SharedQueue {
-		if len(r.perWorker[wid]) > 0 {
-			return heap.Pop(&r.perWorker[wid]).(*ptg.Instance)
-		}
-		if r.cfg.Queues == PerWorkerSteal {
-			best := -1
-			for w := range r.perWorker {
-				if len(r.perWorker[w]) == 0 {
-					continue
-				}
-				if best < 0 || taskBefore(r.perWorker[w][0], r.perWorker[best][0]) {
-					best = w
-				}
+// wakeBatch unparks workers after a batch push: in PerWorker mode each
+// nonempty shard's owner (nobody else may run its tasks), otherwise any
+// parked workers, at most one per new task.
+func (r *runner) wakeBatch(n int) {
+	if r.cfg.Queues == PerWorker {
+		for si := range r.shards {
+			if r.nparked.Load() == 0 {
+				return
 			}
-			if best >= 0 {
-				return heap.Pop(&r.perWorker[best]).(*ptg.Instance)
+			if r.shards[si].size.Load() > 0 {
+				r.wake(si)
 			}
 		}
-		return nil
+		return
 	}
-	if r.cfg.Policy == LIFOOrder {
-		if n := len(r.stack); n > 0 {
-			in := r.stack[n-1]
-			r.stack[n-1] = nil
-			r.stack = r.stack[:n-1]
+	for w := 0; w < len(r.ws) && n > 0; w++ {
+		if r.nparked.Load() == 0 {
+			return
+		}
+		if r.wake(w) {
+			n--
+		}
+	}
+}
+
+// wakeFor unparks a worker able to run work that just landed on shard
+// si: the owner if it is parked, else (when other workers may take the
+// task) any parked worker.
+func (r *runner) wakeFor(si int) {
+	if r.nparked.Load() == 0 {
+		return // every worker is already running; nobody to wake
+	}
+	skip := -1 // in shared mode si indexes the lone shard, not a worker
+	if r.cfg.Queues != SharedQueue {
+		if r.wake(si) {
+			return
+		}
+		if r.cfg.Queues == PerWorker {
+			return // only the pinned owner may run it
+		}
+		skip = si
+	}
+	for w := range r.ws {
+		if w != skip && r.wake(w) {
+			return
+		}
+	}
+}
+
+// wake delivers an unpark token to worker w if it is parked. The CAS
+// makes exactly one enqueuer responsible for the token.
+func (r *runner) wake(w int) bool {
+	ws := &r.ws[w]
+	if ws.parked.CompareAndSwap(true, false) {
+		r.nparked.Add(-1)
+		r.wakes.Add(1)
+		select {
+		case ws.park <- struct{}{}:
+		default:
+		}
+		return true
+	}
+	return false
+}
+
+// halt stops every worker: parked ones get a token, running ones see the
+// flag when they next look for work.
+func (r *runner) halt() {
+	r.stop.Store(true)
+	for i := range r.ws {
+		select {
+		case r.ws[i].park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (r *runner) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.halt()
+}
+
+// popShard pops the best task from one shard, or nil.
+func (r *runner) popShard(si int) *ptg.Instance {
+	s := &r.shards[si]
+	s.mu.Lock()
+	var in *ptg.Instance
+	var left int
+	if r.cfg.Queues == SharedQueue && r.cfg.Policy == LIFOOrder {
+		if n := len(s.stack); n > 0 {
+			in = s.stack[n-1]
+			s.stack[n-1] = nil
+			s.stack = s.stack[:n-1]
+			left = n - 1
+		}
+	} else if len(s.heap) > 0 {
+		in = heap.Pop(&s.heap).(*ptg.Instance)
+		left = len(s.heap)
+	}
+	if in != nil && left == 0 {
+		s.size.Store(0) // nonempty -> empty flip
+	}
+	s.mu.Unlock()
+	return in
+}
+
+// steal probes victims in a randomized order, locking only one victim
+// shard at a time, and takes that victim's best task (PaRSEC steals
+// ready work rather than rebalancing whole queues, §IV-D).
+func (r *runner) steal(id int) *ptg.Instance {
+	ws := &r.ws[id]
+	n := len(r.shards)
+	start := int(ws.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == id || r.shards[v].size.Load() == 0 {
+			continue
+		}
+		ws.probes++
+		if in := r.popShard(v); in != nil {
+			ws.steals++
 			return in
 		}
-		return nil
-	}
-	if len(r.heap) > 0 {
-		return heap.Pop(&r.heap).(*ptg.Instance)
 	}
 	return nil
 }
 
-// taskBefore reports whether a should run before b.
-func taskBefore(a, b *ptg.Instance) bool {
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
+// tryGet returns the next task for worker id: local pop first, then a
+// randomized steal when the mode allows it.
+func (r *runner) tryGet(id int) *ptg.Instance {
+	if r.cfg.Queues == SharedQueue {
+		return r.popShard(0)
 	}
-	return a.Seq < b.Seq
+	if in := r.popShard(id); in != nil {
+		return in
+	}
+	if r.cfg.Queues == PerWorkerSteal {
+		return r.steal(id)
+	}
+	return nil
 }
 
-// queueLenLocked returns the number of queued ready tasks visible to any
-// worker (used only for termination/deadlock detection).
-func (r *runner) queueLenLocked() int {
-	if r.cfg.Queues != SharedQueue {
-		n := 0
-		for w := range r.perWorker {
-			n += len(r.perWorker[w])
+// hasWork reports whether worker id could obtain a task right now,
+// using the shards' lock-free size mirrors.
+func (r *runner) hasWork(id int) bool {
+	if r.cfg.Queues == SharedQueue {
+		return r.shards[0].size.Load() > 0
+	}
+	if r.shards[id].size.Load() > 0 {
+		return true
+	}
+	if r.cfg.Queues == PerWorkerSteal {
+		for i := range r.shards {
+			if r.shards[i].size.Load() > 0 {
+				return true
+			}
 		}
-		return n
 	}
-	if r.cfg.Policy == LIFOOrder {
-		return len(r.stack)
-	}
-	return len(r.heap)
+	return false
 }
 
-// availableLocked reports whether worker wid could obtain a task now.
-func (r *runner) availableLocked(wid int) bool {
-	if r.cfg.Queues == PerWorker {
-		return len(r.perWorker[wid]) > 0
+// park blocks worker id until an enqueuer wakes it or the run stops.
+// Publishing parked before the recheck closes the race with enqueue:
+// any push that the recheck misses happens after parked was visible, so
+// that enqueuer's wake CAS succeeds and leaves a token in the channel.
+func (r *runner) park(id int) {
+	ws := &r.ws[id]
+	ws.parks++
+	ws.parked.Store(true)
+	r.nparked.Add(1)
+	if r.stop.Load() || r.hasWork(id) {
+		r.unparkSelf(ws)
+		return
 	}
-	return r.queueLenLocked() > 0
+	t0 := time.Now()
+	<-ws.park
+	ws.parkedFor += time.Since(t0)
+	r.unparkSelf(ws)
 }
 
-func (r *runner) fail(err error) {
-	r.mu.Lock()
-	if r.err == nil {
-		r.err = err
+// unparkSelf clears the worker's parked flag if no waker already claimed
+// it; exactly one side of that race decrements nparked.
+func (r *runner) unparkSelf(ws *workerState) {
+	if ws.parked.CompareAndSwap(true, false) {
+		r.nparked.Add(-1)
 	}
-	r.stopped = true
-	r.cond.Broadcast()
-	r.mu.Unlock()
 }
 
 func (r *runner) work(id int) {
-	for {
-		r.mu.Lock()
-		for !r.availableLocked(id) && !r.stopped {
-			if r.tr.Done() {
-				r.stopped = true
-				r.cond.Broadcast()
-				break
-			}
-			r.idle++
-			// Deadlock check: every worker idle, nothing queued, tasks
-			// remaining. (A running task elsewhere keeps idle < workers.)
-			if r.idle == workersOf(r) && r.queueLenLocked() == 0 && !r.tr.Done() && r.inflight == 0 {
-				r.err = fmt.Errorf("runtime: deadlock with %d tasks remaining", r.tr.Remaining())
-				r.stopped = true
-				r.cond.Broadcast()
-				r.idle--
-				break
-			}
-			r.cond.Wait()
-			r.idle--
+	ws := &r.ws[id]
+	t0 := time.Now()
+	defer func() {
+		// Without an Observer, busy is coarse: the worker's unparked
+		// time. Per-task timestamping costs two clock reads per task —
+		// measurable against sub-microsecond bodies — so the precise
+		// accounting only runs when someone asked to see it.
+		if r.cfg.Observer == nil {
+			ws.busy = time.Since(t0) - ws.parkedFor
 		}
-		if r.stopped && !r.availableLocked(id) {
-			r.mu.Unlock()
+	}()
+	for {
+		if r.stop.Load() {
 			return
 		}
-		in := r.dequeueLocked(id)
+		in := r.tryGet(id)
 		if in == nil {
-			r.mu.Unlock()
+			r.park(id)
 			continue
 		}
 		if err := r.tr.Start(in); err != nil {
-			r.mu.Unlock()
 			r.fail(err)
 			return
 		}
-		r.inflight++
-		r.mu.Unlock()
-
 		if err := r.execute(id, in); err != nil {
-			r.mu.Lock()
-			r.inflight--
-			r.mu.Unlock()
 			r.fail(err)
 			return
 		}
-		r.mu.Lock()
-		r.inflight--
-		r.mu.Unlock()
 	}
 }
 
-func workersOf(r *runner) int { return r.workersCount }
-
 func (r *runner) execute(worker int, in *ptg.Instance) error {
+	ws := &r.ws[worker]
 	ctx := &ptg.Ctx{
 		Args: in.Ref.Args,
 		Node: in.Node,
+		Seq:  in.Seq,
 		In:   in.In,
 		Out:  make([]any, len(in.In)),
 	}
 	copy(ctx.Out, in.In)
-	t0 := time.Now()
+	obs := r.cfg.Observer
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	if body := in.Class.Body; body != nil {
 		if err := safeBody(body, ctx, in); err != nil {
 			return err
 		}
 	}
-	dur := time.Since(t0)
+	var dur time.Duration
+	if obs != nil {
+		dur = time.Since(t0)
+		ws.busy += dur
+	}
+	ws.byClass[in.Ref.Class]++
+	ws.tasks++
 
-	r.mu.Lock()
-	r.busy += dur
-	r.byClass[in.Ref.Class]++
-	dels, _, err := r.tr.Complete(in)
+	// Completion and successor activation synchronize on the tracker's
+	// own lock, not on any scheduler structure. One lock acquisition
+	// covers the completion and every delivery it triggers.
+	ready, err := r.tr.CompleteDeliver(in, ctx.Out, ws.scratch[:0])
 	if err != nil {
-		r.mu.Unlock()
 		return err
 	}
-	for _, d := range dels {
-		ready, derr := r.tr.Deliver(d.To, d.ToFlow, ctx.Out[d.FromFlow])
-		if derr != nil {
-			r.mu.Unlock()
-			return derr
-		}
-		if ready {
-			r.enqueueLocked(d.To)
+	// This task's pending token transfers to its successors: one net
+	// update covers the -1 for completing and the +1 per ready successor,
+	// so a chain step touches the counter not at all. The increment side
+	// lands before the batch is visible to other workers, so pending only
+	// reaches zero at true quiescence: nothing queued, nothing running.
+	switch n := len(ready); {
+	case n > 1:
+		r.pending.Add(int64(n - 1))
+		r.enqueueBatch(ws, ready)
+	case n == 1:
+		r.enqueue(ready[0])
+	default:
+		if r.pending.Add(-1) == 0 {
+			if r.tr.Done() {
+				r.halt()
+			} else {
+				r.fail(fmt.Errorf("runtime: deadlock with %d tasks remaining", r.tr.Remaining()))
+			}
 		}
 	}
-	r.mu.Unlock()
+	ws.scratch = ready[:0]
 
-	if obs := r.cfg.Observer; obs != nil {
+	if obs != nil {
 		obs(Event{Task: in.Ref, Worker: worker, Start: t0.Sub(r.start), End: t0.Add(dur).Sub(r.start)})
 	}
 	return nil

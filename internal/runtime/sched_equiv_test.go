@@ -1,0 +1,230 @@
+package runtime
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"parsec/internal/ptg"
+)
+
+// Scheduler equivalence: every scheduling configuration (policy × queue
+// mode × worker count) must compute the same answer and execute the same
+// task set as the reference single-worker shared-queue run. The graphs
+// mirror the paper's workload shapes: a serial chain (no parallelism to
+// exploit), a fan-out/reduction tree like the v2 rewrite's fully-split
+// expressions (§V, Fig 4), and prioritized independent chains like the
+// v5 variant's per-term chains with priority expressions (§IV-C).
+//
+// Each builder closes over a fresh result cell so graphs are rebuilt per
+// run; the bodies fold payloads in a schedule-independent order (serial
+// chains, or summing a SINK's inputs in flow order), so any divergence
+// is a scheduler bug, not floating-point or ordering noise.
+
+type equivResult struct {
+	mu  sync.Mutex
+	val int64
+}
+
+func (r *equivResult) set(v int64) {
+	r.mu.Lock()
+	r.val = v
+	r.mu.Unlock()
+}
+
+// equivChain: one serial chain of n steps threading an int64 payload;
+// step i computes out = in*3 + i.
+func equivChain(n int, res *equivResult) *ptg.Graph {
+	g := ptg.NewGraph("equiv-chain")
+	c := g.Class("STEP")
+	c.Domain = func(emit func(ptg.Args)) {
+		for i := 0; i < n; i++ {
+			emit(ptg.A1(i))
+		}
+	}
+	c.AddFlow("D", ptg.RW).
+		InNew(func(a ptg.Args) bool { return a[0] == 0 }, func(a ptg.Args) int64 { return 8 }).
+		In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "STEP", Args: ptg.A1(a[0] - 1)}, "D"
+		}).
+		Out(func(a ptg.Args) bool { return a[0] < n-1 }, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "STEP", Args: ptg.A1(a[0] + 1)}, "D"
+		})
+	c.Body = func(ctx *ptg.Ctx) {
+		var in int64 = 1
+		if v, ok := ctx.In[0].(int64); ok {
+			in = v
+		}
+		out := in*3 + int64(ctx.Args[0])
+		ctx.Out[0] = out
+		if ctx.Args[0] == n-1 {
+			res.set(out)
+		}
+	}
+	return g
+}
+
+// equivFanout: SRC fans one datum out to n MID tasks, which all reduce
+// into a single SINK — the shape of a fully-split tensor-contraction
+// expression (one producer, a wide middle, a reduction).
+func equivFanout(n int, res *equivResult) *ptg.Graph {
+	g := ptg.NewGraph("equiv-fanout")
+	src := g.Class("SRC")
+	src.Domain = func(emit func(ptg.Args)) { emit(ptg.A1(0)) }
+	f := src.AddFlow("D", ptg.Write)
+	f.InNew(nil, func(a ptg.Args) int64 { return 8 })
+	for i := 0; i < n; i++ {
+		i := i
+		f.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "MID", Args: ptg.A1(i)}, "D"
+		})
+	}
+	src.Body = func(ctx *ptg.Ctx) { ctx.Out[0] = int64(7) }
+
+	mid := g.Class("MID")
+	mid.Domain = func(emit func(ptg.Args)) {
+		for i := 0; i < n; i++ {
+			emit(ptg.A1(i))
+		}
+	}
+	mid.AddFlow("D", ptg.RW).
+		In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "SRC", Args: ptg.A1(0)}, "D"
+		}).
+		Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "SINK", Args: ptg.A1(0)}, fmt.Sprintf("I%d", a[0])
+		})
+	mid.Body = func(ctx *ptg.Ctx) {
+		i := int64(ctx.Args[0])
+		ctx.Out[0] = ctx.In[0].(int64) + i*i
+	}
+
+	sink := g.Class("SINK")
+	sink.Domain = func(emit func(ptg.Args)) { emit(ptg.A1(0)) }
+	for i := 0; i < n; i++ {
+		i := i
+		sink.AddFlow(fmt.Sprintf("I%d", i), ptg.Read).
+			In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "MID", Args: ptg.A1(i)}, "D"
+			})
+	}
+	sink.Body = func(ctx *ptg.Ctx) {
+		var sum int64
+		for _, v := range ctx.In {
+			sum += v.(int64)
+		}
+		res.set(sum)
+	}
+	return g
+}
+
+// equivPriorityChains: chains independent serial chains of length steps
+// each, chain c carrying priority c (so priority scheduling drains them
+// in a definite order), all tails reducing into one SINK.
+func equivPriorityChains(chains, steps int, res *equivResult) *ptg.Graph {
+	g := ptg.NewGraph("equiv-prio-chains")
+	c := g.Class("STEP")
+	c.Domain = func(emit func(ptg.Args)) {
+		for ch := 0; ch < chains; ch++ {
+			for l := 0; l < steps; l++ {
+				emit(ptg.Args{ch, l})
+			}
+		}
+	}
+	c.Priority = func(a ptg.Args) int64 { return int64(a[0]) }
+	c.AddFlow("D", ptg.RW).
+		InNew(func(a ptg.Args) bool { return a[1] == 0 }, func(a ptg.Args) int64 { return 8 }).
+		In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "STEP", Args: ptg.Args{a[0], a[1] - 1}}, "D"
+		}).
+		Out(func(a ptg.Args) bool { return a[1] < steps-1 }, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "STEP", Args: ptg.Args{a[0], a[1] + 1}}, "D"
+		}).
+		Out(func(a ptg.Args) bool { return a[1] == steps-1 }, func(a ptg.Args) (ptg.TaskRef, string) {
+			return ptg.TaskRef{Class: "SINK", Args: ptg.A1(0)}, fmt.Sprintf("C%d", a[0])
+		})
+	c.Body = func(ctx *ptg.Ctx) {
+		var in int64 = 1
+		if v, ok := ctx.In[0].(int64); ok {
+			in = v
+		}
+		ctx.Out[0] = in*2 + int64(ctx.Args[0]) + int64(ctx.Args[1])
+	}
+
+	sink := g.Class("SINK")
+	sink.Domain = func(emit func(ptg.Args)) { emit(ptg.A1(0)) }
+	for ch := 0; ch < chains; ch++ {
+		ch := ch
+		sink.AddFlow(fmt.Sprintf("C%d", ch), ptg.Read).
+			In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "STEP", Args: ptg.Args{ch, steps - 1}}, "D"
+			})
+	}
+	sink.Body = func(ctx *ptg.Ctx) {
+		var sum int64
+		for i, v := range ctx.In {
+			sum += int64(i+1) * v.(int64)
+		}
+		res.set(sum)
+	}
+	return g
+}
+
+func TestSchedulerEquivalence(t *testing.T) {
+	graphs := []struct {
+		name  string
+		build func(res *equivResult) *ptg.Graph
+	}{
+		{"chain", func(res *equivResult) *ptg.Graph { return equivChain(30, res) }},
+		{"fanout", func(res *equivResult) *ptg.Graph { return equivFanout(24, res) }},
+		{"prio-chains", func(res *equivResult) *ptg.Graph { return equivPriorityChains(6, 8, res) }},
+	}
+
+	for _, gr := range graphs {
+		gr := gr
+		t.Run(gr.name, func(t *testing.T) {
+			// Reference: one worker, one shared queue, priority order.
+			var ref equivResult
+			refRep, err := Run(gr.build(&ref), Config{Workers: 1, Queues: SharedQueue, Policy: PriorityOrder})
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+
+			for _, pol := range []Policy{PriorityOrder, LIFOOrder} {
+				for _, q := range []QueueMode{SharedQueue, PerWorker, PerWorkerSteal} {
+					for _, workers := range []int{1, 2, 8} {
+						pol, q, workers := pol, q, workers
+						t.Run(fmt.Sprintf("%v-%v-w%d", pol, q, workers), func(t *testing.T) {
+							var res equivResult
+							rep, err := Run(gr.build(&res), Config{Workers: workers, Queues: q, Policy: pol})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if rep.Tasks != refRep.Tasks {
+								t.Errorf("tasks = %d, want %d", rep.Tasks, refRep.Tasks)
+							}
+							if !reflect.DeepEqual(rep.ByClass, refRep.ByClass) {
+								t.Errorf("ByClass = %v, want %v", rep.ByClass, refRep.ByClass)
+							}
+							if res.val != ref.val {
+								t.Errorf("result = %d, want %d", res.val, ref.val)
+							}
+							if got := sumPerWorker(rep.Sched.PerWorkerTasks); got != int64(rep.Tasks) {
+								t.Errorf("sum(PerWorkerTasks) = %d, want %d", got, rep.Tasks)
+							}
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+func sumPerWorker(counts []int64) int64 {
+	var s int64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}

@@ -113,6 +113,23 @@ const (
 	LIFOOrder     = runtime.LIFOOrder
 )
 
+// QueueMode selects the ready-queue structure of the sharded scheduler:
+// one shared queue, statically pinned per-worker queues, or pinned
+// queues with randomized work stealing (PaRSEC's per-thread queues,
+// §IV-D).
+type QueueMode = runtime.QueueMode
+
+const (
+	SharedQueue    = runtime.SharedQueue
+	PerWorker      = runtime.PerWorker
+	PerWorkerSteal = runtime.PerWorkerSteal
+)
+
+// SchedStats are the scheduler's internal counters for one run
+// (steal attempts/hits, parks, wakes, per-worker task counts, queue
+// depth), available as Report.Sched.
+type SchedStats = runtime.SchedStats
+
 // Run executes a graph with real data on worker goroutines.
 func Run(g *Graph, cfg RunConfig) (Report, error) { return runtime.Run(g, cfg) }
 
@@ -170,6 +187,13 @@ type RealResult = ccsd.RealResult
 // arithmetic on the goroutine runtime.
 func RunCCSD(w *Workload, spec VariantSpec, workers int) (RealResult, error) {
 	return ccsd.RunReal(w, spec, workers)
+}
+
+// RunCCSDQueued is RunCCSD with an explicit ready-queue mode, for
+// comparing the shared queue against per-worker queues on the real
+// workload.
+func RunCCSDQueued(w *Workload, spec VariantSpec, workers int, queue QueueMode) (RealResult, error) {
+	return ccsd.RunRealQueued(w, spec, workers, queue)
 }
 
 // ReferenceEnergy computes the serial ground-truth correlation-energy

@@ -1,0 +1,70 @@
+package parsec
+
+import (
+	"fmt"
+	"testing"
+
+	"parsec/internal/runtime"
+)
+
+// TestSchedBenchmarkSmoke exercises the contention-benchmark graphs once
+// per queue mode inside the ordinary test run, so a scheduler regression
+// that would corrupt or hang the benchmarks fails CI instead of only
+// surfacing when someone runs `make bench`. Zero spin keeps it fast: the
+// whole point of the graphs is to stress dispatch, not compute.
+func TestSchedBenchmarkSmoke(t *testing.T) {
+	for _, mode := range schedQueueModes {
+		mode := mode
+		t.Run("fanout/"+mode.name, func(t *testing.T) {
+			const tasks = 256
+			rep, err := runSchedGraph(schedFanoutGraph(tasks, 0), 8, mode.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Tasks != tasks+1 {
+				t.Errorf("tasks = %d, want %d", rep.Tasks, tasks+1)
+			}
+			checkSchedStats(t, rep)
+		})
+		t.Run("chains/"+mode.name, func(t *testing.T) {
+			const chains, length = 16, 8
+			rep, err := runSchedGraph(schedChainsGraph(chains, length, 0), 8, mode.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Tasks != chains*length {
+				t.Errorf("tasks = %d, want %d", rep.Tasks, chains*length)
+			}
+			checkSchedStats(t, rep)
+		})
+	}
+}
+
+// checkSchedStats asserts the scheduler's accounting is self-consistent:
+// every executed task is attributed to exactly one worker, and the
+// counters that feed the -sched report are well-formed.
+func checkSchedStats(t *testing.T, rep runtime.Report) {
+	t.Helper()
+	var sum int64
+	for _, n := range rep.Sched.PerWorkerTasks {
+		if n < 0 {
+			t.Errorf("negative per-worker task count: %v", rep.Sched.PerWorkerTasks)
+		}
+		sum += n
+	}
+	if sum != int64(rep.Tasks) {
+		t.Errorf("sum(PerWorkerTasks) = %d, want %d", sum, rep.Tasks)
+	}
+	if rep.Sched.Steals > rep.Sched.StealAttempts {
+		t.Errorf("steals %d > attempts %d", rep.Sched.Steals, rep.Sched.StealAttempts)
+	}
+	if rep.Sched.MaxQueueDepth < 1 {
+		t.Errorf("max queue depth = %d, want >= 1", rep.Sched.MaxQueueDepth)
+	}
+	if rep.Sched.String() == "" {
+		t.Error("empty stats string")
+	}
+	if fmt.Sprint(rep.Sched.PerWorkerTasks) == "" {
+		t.Error("unprintable per-worker counts")
+	}
+}
