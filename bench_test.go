@@ -42,7 +42,7 @@ func benchCluster() cluster.Config {
 	return cfg
 }
 
-var benchCores = []int{1, 3, 7, 15}
+var benchCores = []int{1, 3, 7, 11, 15}
 
 // BenchmarkFig9Original regenerates the original-code series of Fig 9.
 func BenchmarkFig9Original(b *testing.B) {

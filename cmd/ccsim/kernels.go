@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"parsec/internal/metrics"
+	"parsec/internal/molecule"
+	"parsec/internal/tce"
+	"parsec/internal/tensor"
+)
+
+// The -kernels mode: benchmark the dense-kernel layer (blocked GEMM and
+// SORT_4) over the tile shapes the real workloads produce, and emit the
+// result as the committed BENCH_kernels.json baseline. Shapes are
+// harvested from the inspection phase of each preset, so the sweep
+// tracks the workloads rather than a hand-picked list.
+
+// kernelPresets are the workloads the sweep harvests shapes from.
+var kernelPresets = []string{"water", "benzene", "betacarotene"}
+
+// maxShapesPerKind caps how many distinct shapes per (workload, kernel)
+// are benchmarked, most-frequent first.
+const maxShapesPerKind = 4
+
+type gemmShape struct{ m, n, k int }
+
+type sortShape struct {
+	src  [4]int
+	perm [4]int
+}
+
+// harvestShapes runs the inspection phase for a preset and returns its
+// distinct GEMM and SORT_4 shapes with occurrence counts.
+func harvestShapes(preset string) (map[gemmShape]int, map[sortShape]int, error) {
+	sys, err := molecule.Preset(preset)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := tce.Inspect(tce.T2_7(sys), nil)
+	gemms := map[gemmShape]int{}
+	sorts := map[sortShape]int{}
+	for _, c := range w.Chains {
+		for _, g := range c.Gemms {
+			gemms[gemmShape{g.Op.M, g.Op.N, g.Op.K}]++
+		}
+		for _, s := range c.Sorts {
+			sorts[sortShape{src: c.CDims, perm: s.Perm}]++
+		}
+	}
+	return gemms, sorts, nil
+}
+
+// topShapes returns the keys of counts sorted by descending count (ties
+// by the render string for determinism), truncated to maxShapesPerKind.
+func topShapes[K comparable](counts map[K]int, render func(K) string) []K {
+	keys := make([]K, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return render(keys[i]) < render(keys[j])
+	})
+	if len(keys) > maxShapesPerKind {
+		keys = keys[:maxShapesPerKind]
+	}
+	return keys
+}
+
+func benchGemmShape(s gemmShape) testing.BenchmarkResult {
+	// The production call shape: dgemm('T','N') per Fig 1, beta = 1.
+	a := tensor.NewMatrix(s.k, s.m)
+	b := tensor.NewMatrix(s.k, s.n)
+	c := tensor.NewMatrix(s.m, s.n)
+	ta := tensor.NewTile4(s.k, s.m, 1, 1)
+	ta.FillRandom(1, 1)
+	copy(a.Data, ta.Data)
+	tb := tensor.NewTile4(s.k, s.n, 1, 1)
+	tb.FillRandom(2, 1)
+	copy(b.Data, tb.Data)
+	return testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.Gemm(true, false, 1, a, b, 1, c)
+		}
+	})
+}
+
+func benchSortShape(s sortShape) testing.BenchmarkResult {
+	src := tensor.NewTile4(s.src[0], s.src[1], s.src[2], s.src[3])
+	src.FillRandom(3, 1)
+	d := src.SortedDims(s.perm)
+	dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
+	return testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.Sort4(dst, src, s.perm, -1)
+		}
+	})
+}
+
+// runKernels executes the sweep and writes the JSON baseline to outPath
+// (stdout table always printed).
+func runKernels(outPath string, verbose bool) error {
+	report := &metrics.KernelReport{
+		Title:     "dense-kernel sweep over real workload tile shapes (single core)",
+		GoVersion: runtime.Version(),
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, preset := range kernelPresets {
+		gemms, sorts, err := harvestShapes(preset)
+		if err != nil {
+			return err
+		}
+		for _, s := range topShapes(gemms, func(g gemmShape) string {
+			return fmt.Sprintf("%08dx%08dx%08d", g.m, g.n, g.k)
+		}) {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "  gemm %s TN m=%d n=%d k=%d...\n", preset, s.m, s.n, s.k)
+			}
+			r := benchGemmShape(s)
+			bytes := int64(8 * (s.m*s.k + s.k*s.n + s.m*s.n))
+			ns := float64(r.NsPerOp())
+			report.Results = append(report.Results, metrics.KernelResult{
+				Kernel:     "gemm",
+				Shape:      fmt.Sprintf("TN m=%d n=%d k=%d", s.m, s.n, s.k),
+				Workload:   preset,
+				Count:      gemms[s],
+				Iters:      r.N,
+				NsPerOp:    ns,
+				BytesPerOp: bytes,
+				MBPerSec:   float64(bytes) / ns * 1e3,
+				GFlops:     float64(tensor.GemmFlops(s.m, s.n, s.k)) / ns,
+			})
+		}
+		for _, s := range topShapes(sorts, func(ss sortShape) string {
+			return fmt.Sprintf("%v%v", ss.src, ss.perm)
+		}) {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "  sort4 %s %v perm=%v...\n", preset, s.src, s.perm)
+			}
+			r := benchSortShape(s)
+			elems := s.src[0] * s.src[1] * s.src[2] * s.src[3]
+			bytes := tensor.Sort4Bytes(elems)
+			ns := float64(r.NsPerOp())
+			report.Results = append(report.Results, metrics.KernelResult{
+				Kernel: "sort4",
+				Shape: fmt.Sprintf("%dx%dx%dx%d perm=%v",
+					s.src[0], s.src[1], s.src[2], s.src[3], s.perm),
+				Workload:   preset,
+				Count:      sorts[s],
+				Iters:      r.N,
+				NsPerOp:    ns,
+				BytesPerOp: bytes,
+				MBPerSec:   float64(bytes) / ns * 1e3,
+			})
+		}
+	}
+	if err := report.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(io.Writer(f)); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", outPath)
+	}
+	return nil
+}

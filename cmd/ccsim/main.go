@@ -45,7 +45,16 @@ func main() {
 	sweepCores := flag.Int("sweepcores", 7, "cores/node used by -sweep runs")
 	sched := flag.Bool("sched", false, "run the shared-memory scheduler sweep (real execution) and print per-queue-mode scheduler stats")
 	schedWorkers := flag.String("schedworkers", "1,2,4,8", "comma-separated worker counts for -sched")
+	kernels := flag.Bool("kernels", false, "benchmark the dense kernels over real workload tile shapes")
+	kernelsOut := flag.String("kernelsout", "BENCH_kernels.json", "JSON baseline path for -kernels (empty to skip writing)")
 	flag.Parse()
+
+	if *kernels {
+		if err := runKernels(*kernelsOut, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *quick {
 		*preset = "benzene"

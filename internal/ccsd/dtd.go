@@ -43,7 +43,7 @@ func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTens
 		if materialize {
 			body = func(ctx *dtd.Ctx) {
 				d := c.CDims
-				ctx.Set(ckey, tensor.NewTile4(d[0], d[1], d[2], d[3]))
+				ctx.Set(ckey, tensor.GetTile4Zeroed(d[0], d[1], d[2], d[3]))
 			}
 		}
 		e.Insert(fmt.Sprintf("DFILL(%d)", c.ID), prio, body, dtd.Write(ckey))
@@ -66,9 +66,12 @@ func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTens
 				body = func(ctx *dtd.Ctx) {
 					src := ctx.Get(ckey).(*tensor.Tile4)
 					d := c.Out.Dims
-					dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
+					// Scratch only: Acc folds the sorted block into the
+					// output tensor immediately, so the tile is recycled.
+					dst := tensor.GetTile4(d[0], d[1], d[2], d[3])
 					tensor.Sort4(dst, src, s.Perm, s.Sign)
 					out.Acc(c.Out.Key, dst, 1)
+					tensor.PutTile4(dst)
 				}
 			}
 			e.Insert(fmt.Sprintf("SORTWRITE(%d,%d)", c.ID, s.Branch), prio, body,

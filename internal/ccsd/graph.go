@@ -162,7 +162,10 @@ func (b *builder) buildDFill() {
 	if store := b.opts.Store; store != nil {
 		tc.Body = func(ctx *ptg.Ctx) {
 			d := b.ps[ctx.Args[0]].meta.CDims
-			ctx.Out[0] = tensor.NewTile4(d[0], d[1], d[2], d[3])
+			// Pooled: the chain accumulator is recycled by the consumer
+			// that retires it (REDUCE folds its Y branch, the serial SORT
+			// retires the chain's final C).
+			ctx.Out[0] = tensor.GetTile4Zeroed(d[0], d[1], d[2], d[3])
 		}
 	}
 }
@@ -357,7 +360,10 @@ func (b *builder) buildReduce() {
 		tc.Body = func(ctx *ptg.Ctx) {
 			xt := ctx.In[0].(*tensor.Tile4)
 			if ctx.In[1] != nil {
-				xt.AddScaled(ctx.In[1].(*tensor.Tile4), 1)
+				yt := ctx.In[1].(*tensor.Tile4)
+				xt.AddScaled(yt, 1)
+				// The Y branch is folded here and has no other consumer.
+				tensor.PutTile4(yt)
 			}
 			ctx.Out[0] = xt
 		}
@@ -386,11 +392,11 @@ func (b *builder) buildSort() {
 	tc.Cost = func(a ptg.Args) ptg.Cost {
 		p := b.ps[a[0]]
 		if b.spec.ParallelSorts {
-			return ptg.Cost{MemBytes: 2 * p.cbytes}
+			return ptg.Cost{MemBytes: tensor.Sort4Bytes(p.meta.Out.Elems())}
 		}
 		// One task performs every active SORT_4 serially, reusing hot
 		// buffers (Fig 5): more traffic, better locality.
-		return ptg.Cost{MemBytes: 2 * p.cbytes * int64(p.nsorts), Warm: true}
+		return ptg.Cost{MemBytes: tensor.Sort4Bytes(p.meta.Out.Elems()) * int64(p.nsorts), Warm: true}
 	}
 	tc.FlowBytes = func(a ptg.Args, flow string) int64 {
 		if flow == "S" {
@@ -439,12 +445,21 @@ func (b *builder) buildSort() {
 				p := b.ps[ctx.Args[0]]
 				src := ctx.In[0].(*tensor.Tile4)
 				d := p.meta.Out.Dims
+				// dst is NOT pooled: AccOrdered retains it until the
+				// ordered flush, and the fused graph shares it with the
+				// ENERGY task. The scratch tmp and the retired chain
+				// accumulator are recycled.
 				dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
-				tmp := tensor.NewTile4(d[0], d[1], d[2], d[3])
+				tmp := tensor.GetTile4(d[0], d[1], d[2], d[3])
 				for _, br := range p.meta.Sorts {
 					tensor.Sort4(tmp, src, br.Perm, br.Sign)
 					dst.AddScaled(tmp, 1)
 				}
+				tensor.PutTile4(tmp)
+				// The merged SORT is the single consumer of the chain's
+				// final C (the parallel-sorts variants share it across
+				// four instances and must leave it to the GC).
+				tensor.PutTile4(src)
 				ctx.Out[1] = dst
 			}
 		}

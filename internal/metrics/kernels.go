@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// KernelResult is one measured kernel configuration of the -kernels
+// sweep: a (kernel, tile shape) pair taken from a real workload, with
+// its benchmark numbers.
+type KernelResult struct {
+	// Kernel names the operation: "gemm" (the production blocked path)
+	// or "sort4" (the permutation kernel).
+	Kernel string `json:"kernel"`
+	// Shape is a human-readable shape key, e.g. "TN m=121 n=121 k=121"
+	// or "36x37x36x37 perm=[2 0 3 1]".
+	Shape string `json:"shape"`
+	// Workload is the molecule preset the shape was harvested from.
+	Workload string `json:"workload"`
+	// Count is how many times the shape occurs in that workload.
+	Count int `json:"count"`
+	// Iters is the number of benchmark iterations measured.
+	Iters int `json:"iters"`
+	// NsPerOp is the measured wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the memory the operation touches (inputs + outputs).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// MBPerSec is BytesPerOp normalized by time.
+	MBPerSec float64 `json:"mb_per_sec"`
+	// GFlops is the arithmetic rate; zero for pure data-movement kernels.
+	GFlops float64 `json:"gflops,omitempty"`
+}
+
+// KernelReport is the BENCH_kernels.json baseline: the dense-kernel
+// layer measured over the tile shapes the real workloads produce.
+type KernelReport struct {
+	// Title describes the sweep.
+	Title string `json:"title"`
+	// GoVersion, Arch and CPUs pin the environment the baseline was
+	// taken on; compare like with like.
+	GoVersion string         `json:"go_version"`
+	Arch      string         `json:"arch"`
+	CPUs      int            `json:"cpus"`
+	Results   []KernelResult `json:"results"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *KernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable writes the report as an aligned text table.
+func (r *KernelReport) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\ngo %s %s, %d cpus\n\n", r.Title, r.GoVersion, r.Arch, r.CPUs); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-7s %-34s %-13s %6s %12s %10s %9s",
+		"kernel", "shape", "workload", "count", "ns/op", "MB/s", "GFlop/s")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		gf := "-"
+		if res.GFlops > 0 {
+			gf = fmt.Sprintf("%.2f", res.GFlops)
+		}
+		if _, err := fmt.Fprintf(w, "%-7s %-34s %-13s %6d %12.0f %10.0f %9s\n",
+			res.Kernel, res.Shape, res.Workload, res.Count, res.NsPerOp, res.MBPerSec, gf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

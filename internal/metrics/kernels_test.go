@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleKernelReport() *KernelReport {
+	return &KernelReport{
+		Title:     "kernel sweep",
+		GoVersion: "go1.24.0",
+		Arch:      "amd64",
+		CPUs:      1,
+		Results: []KernelResult{
+			{Kernel: "gemm", Shape: "TN m=121 n=121 k=121", Workload: "benzene",
+				Count: 12, Iters: 100, NsPerOp: 125000, BytesPerOp: 351384, MBPerSec: 2811, GFlops: 28.3},
+			{Kernel: "sort4", Shape: "11x11x11x11 perm=[2 0 3 1]", Workload: "benzene",
+				Count: 4, Iters: 5000, NsPerOp: 17000, BytesPerOp: 234256, MBPerSec: 13780},
+		},
+	}
+}
+
+func TestKernelReportJSONRoundTrip(t *testing.T) {
+	r := sampleKernelReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results[0].GFlops != 28.3 || back.Results[1].Kernel != "sort4" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	// The data-movement kernel reports no flops field at all.
+	if strings.Contains(buf.String(), `"gflops": 0`) {
+		t.Fatalf("zero gflops should be omitted:\n%s", buf.String())
+	}
+}
+
+func TestKernelReportTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleKernelReport().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"kernel sweep", "TN m=121 n=121 k=121", "28.30", "sort4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package tce
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"parsec/internal/molecule"
+	"parsec/internal/tensor"
+)
+
+// TestReferenceSteadyStateAllocs pins the scratch-pool contract on a
+// real workload: once the pool and the output tensor are warm, a full
+// reference execution (every DFILL, GEMM and SORT_4 of the kernel)
+// performs zero heap allocations.
+func TestReferenceSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	sys := molecule.Water631G()
+	w := Inspect(T2_7(sys), nil)
+	a, b := w.Materialize()
+	out := tensor.NewBlockTensor4()
+
+	// GC would drop the sync.Pool contents mid-measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	w.RunReferenceInto(out, a, b) // warm: pool classes + output blocks
+	allocs := testing.AllocsPerRun(3, func() {
+		w.RunReferenceInto(out, a, b)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed-up RunReferenceInto: %v allocs/run, want 0", allocs)
+	}
+}

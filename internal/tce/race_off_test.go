@@ -1,0 +1,5 @@
+//go:build !race
+
+package tce
+
+const raceEnabled = false

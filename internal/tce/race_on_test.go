@@ -1,0 +1,8 @@
+//go:build race
+
+package tce
+
+// raceEnabled gates allocation-count tests: the race detector's
+// instrumentation allocates inside sync.Pool, making AllocsPerRun
+// meaningless under -race.
+const raceEnabled = true

@@ -81,8 +81,18 @@ func (w *Workload) Energy(c *tensor.BlockTensor4) float64 {
 // parallel variant.
 func (w *Workload) RunReference(a, b *tensor.BlockTensor4) *tensor.BlockTensor4 {
 	out := tensor.NewBlockTensor4()
+	w.RunReferenceInto(out, a, b)
+	return out
+}
+
+// RunReferenceInto is RunReference accumulating into an existing output
+// tensor (ADD_HASH_BLOCK semantics: contributions fold into whatever the
+// blocks already hold). The per-chain C buffer and SORT scratch come from
+// the tensor scratch pool, so a warmed-up call performs no steady-state
+// heap allocation beyond output blocks absent from out.
+func (w *Workload) RunReferenceInto(out *tensor.BlockTensor4, a, b *tensor.BlockTensor4) {
 	for _, c := range w.Chains {
-		cbuf := tensor.NewTile4(c.CDims[0], c.CDims[1], c.CDims[2], c.CDims[3])
+		cbuf := tensor.GetTile4Zeroed(c.CDims[0], c.CDims[1], c.CDims[2], c.CDims[3])
 		cm := cbuf.AsMatrix()
 		for _, g := range c.Gemms {
 			at := a.MustTile(g.Op.A.Key)
@@ -91,11 +101,12 @@ func (w *Workload) RunReference(a, b *tensor.BlockTensor4) *tensor.BlockTensor4 
 			tensor.Gemm(true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, cm)
 		}
 		dst := out.GetOrCreate(c.Out.Key, c.Out.Dims)
-		tmp := tensor.NewTile4(c.Out.Dims[0], c.Out.Dims[1], c.Out.Dims[2], c.Out.Dims[3])
+		tmp := tensor.GetTile4(c.Out.Dims[0], c.Out.Dims[1], c.Out.Dims[2], c.Out.Dims[3])
 		for _, s := range c.Sorts {
 			tensor.Sort4(tmp, cbuf, s.Perm, s.Sign)
 			dst.AddScaled(tmp, 1)
 		}
+		tensor.PutTile4(tmp)
+		tensor.PutTile4(cbuf)
 	}
-	return out
 }

@@ -1,0 +1,348 @@
+package tensor
+
+import "parsec/internal/tensor/pool"
+
+// Cache-blocked packed GEMM (DESIGN.md §8). The triple loop is tiled
+// BLIS-style over (n, k, m) with block sizes (gemmNC, gemmKC, gemmMC);
+// inside a block, panels of op(A) and op(B) are packed into contiguous
+// scratch laid out in micro-panel strips, so every trans variant runs the
+// same register-blocked micro-kernel on unit-stride data: a 4x8
+// AVX2+FMA block when the CPU supports it (gemm_kernel_amd64.s), else a
+// portable 4x4 block of scalar accumulators. alpha is folded into the A
+// packing. Tiny products fall back to the direct loops in matrix.go (the
+// water tiles are 2–9 wide; packing would cost more than it saves).
+const (
+	gemmMR = 4 // micro-kernel rows: C rows accumulated in registers
+	gemmNR = 4 // portable micro-kernel cols
+	// gemmNRAsm is the AVX2 micro-kernel width: eight columns, two YMM
+	// accumulators per row.
+	gemmNRAsm = 8
+	// gemmMC x gemmKC is the packed A panel (256 KiB, L2-resident).
+	gemmMC = 128
+	gemmKC = 256
+	// gemmKC x gemmNC bounds the packed B panel (4 MiB, L3-resident).
+	gemmNC = 2048
+	// gemmBlockCutoff is the m*n*k product below which the direct loops
+	// win; 32^3 keeps every water-sized tile on the unpacked path.
+	gemmBlockCutoff = 32 * 32 * 32
+)
+
+// gemmBlocked computes C += alpha*op(A)*op(B) over pre-beta-scaled C.
+func gemmBlocked(transA, transB bool, alpha float64, a, b, c *Matrix) {
+	m, k := opDims(a, transA)
+	n := c.Cols
+	nr := gemmNR
+	if haveGemmAsm {
+		nr = gemmNRAsm
+	}
+
+	// Packing scratch, recycled through the size-class pool.
+	ncMax := min2(n, gemmNC)
+	kcMax := min2(k, gemmKC)
+	mcMax := min2(m, gemmMC)
+	aPack := pool.Get(roundUp(mcMax, gemmMR) * kcMax)
+	bPack := pool.Get(roundUp(ncMax, nr) * kcMax)
+	defer pool.Put(aPack)
+	defer pool.Put(bPack)
+
+	for jc := 0; jc < n; jc += gemmNC {
+		ncEff := min2(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kcEff := min2(gemmKC, k-pc)
+			packB(transB, b, pc, jc, kcEff, ncEff, nr, bPack)
+			for ic := 0; ic < m; ic += gemmMC {
+				mcEff := min2(gemmMC, m-ic)
+				packA(transA, alpha, a, ic, pc, mcEff, kcEff, aPack)
+				if haveGemmAsm {
+					gemmMacroAsm(aPack, bPack, c, ic, jc, mcEff, ncEff, kcEff)
+				} else {
+					gemmMacro(aPack, bPack, c, ic, jc, mcEff, ncEff, kcEff)
+				}
+			}
+		}
+	}
+}
+
+func roundUp(n, q int) int { return (n + q - 1) / q * q }
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// packA copies the (ic:ic+mcEff, pc:pc+kcEff) panel of op(A), scaled by
+// alpha, into dst as gemmMR-row strips: strip s holds rows ic+s*MR.. and
+// is laid out k-major, dst[s*kcEff*MR + p*MR + r] = alpha*op(A)[ic+s*MR+r,
+// pc+p]. Short final strips are zero-padded so the micro-kernel never
+// branches on the row count.
+func packA(transA bool, alpha float64, a *Matrix, ic, pc, mcEff, kcEff int, dst []float64) {
+	lda := a.Cols
+	if transA {
+		// A is k x m row-major; op(A)[i,p] = A[p,i]: each p contributes
+		// gemmMR consecutive source elements.
+		for s := 0; s*gemmMR < mcEff; s++ {
+			i0 := ic + s*gemmMR
+			rows := min2(gemmMR, ic+mcEff-i0)
+			out := dst[s*kcEff*gemmMR:]
+			if rows == gemmMR {
+				for p := 0; p < kcEff; p++ {
+					src := a.Data[(pc+p)*lda+i0 : (pc+p)*lda+i0+gemmMR]
+					o := out[p*gemmMR : p*gemmMR+gemmMR]
+					o[0] = alpha * src[0]
+					o[1] = alpha * src[1]
+					o[2] = alpha * src[2]
+					o[3] = alpha * src[3]
+				}
+				continue
+			}
+			for p := 0; p < kcEff; p++ {
+				src := a.Data[(pc+p)*lda+i0:]
+				o := out[p*gemmMR : (p+1)*gemmMR]
+				for r := 0; r < gemmMR; r++ {
+					if r < rows {
+						o[r] = alpha * src[r]
+					} else {
+						o[r] = 0
+					}
+				}
+			}
+		}
+		return
+	}
+	// A is m x k row-major; a strip interleaves gemmMR row slices.
+	for s := 0; s*gemmMR < mcEff; s++ {
+		i0 := ic + s*gemmMR
+		rows := min2(gemmMR, ic+mcEff-i0)
+		out := dst[s*kcEff*gemmMR:]
+		if rows == gemmMR {
+			r0 := a.Data[(i0+0)*lda+pc : (i0+0)*lda+pc+kcEff]
+			r1 := a.Data[(i0+1)*lda+pc : (i0+1)*lda+pc+kcEff]
+			r2 := a.Data[(i0+2)*lda+pc : (i0+2)*lda+pc+kcEff]
+			r3 := a.Data[(i0+3)*lda+pc : (i0+3)*lda+pc+kcEff]
+			for p := 0; p < kcEff; p++ {
+				o := out[p*gemmMR : p*gemmMR+gemmMR]
+				o[0] = alpha * r0[p]
+				o[1] = alpha * r1[p]
+				o[2] = alpha * r2[p]
+				o[3] = alpha * r3[p]
+			}
+			continue
+		}
+		for p := 0; p < kcEff; p++ {
+			o := out[p*gemmMR : (p+1)*gemmMR]
+			for r := 0; r < gemmMR; r++ {
+				if r < rows {
+					o[r] = alpha * a.Data[(i0+r)*lda+pc+p]
+				} else {
+					o[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies the (pc:pc+kcEff, jc:jc+ncEff) panel of op(B) into dst as
+// nr-column strips, dst[s*kcEff*nr + p*nr + j] = op(B)[pc+p, jc+s*nr+j],
+// zero-padding short final strips.
+func packB(transB bool, b *Matrix, pc, jc, kcEff, ncEff, nr int, dst []float64) {
+	ldb := b.Cols
+	if !transB {
+		// B is k x n row-major: each p contributes nr consecutive
+		// source elements.
+		for s := 0; s*nr < ncEff; s++ {
+			j0 := jc + s*nr
+			cols := min2(nr, jc+ncEff-j0)
+			out := dst[s*kcEff*nr:]
+			for p := 0; p < kcEff; p++ {
+				src := b.Data[(pc+p)*ldb+j0 : (pc+p)*ldb+j0+cols]
+				o := out[p*nr : (p+1)*nr]
+				copy(o, src)
+				for j := cols; j < nr; j++ {
+					o[j] = 0
+				}
+			}
+		}
+		return
+	}
+	// B is n x k row-major; op(B)[p,j] = B[j,p]: a strip interleaves nr
+	// row slices of B.
+	for s := 0; s*nr < ncEff; s++ {
+		j0 := jc + s*nr
+		cols := min2(nr, jc+ncEff-j0)
+		out := dst[s*kcEff*nr:]
+		for j := 0; j < nr; j++ {
+			if j >= cols {
+				for p := 0; p < kcEff; p++ {
+					out[p*nr+j] = 0
+				}
+				continue
+			}
+			src := b.Data[(j0+j)*ldb+pc : (j0+j)*ldb+pc+kcEff]
+			for p, v := range src {
+				out[p*nr+j] = v
+			}
+		}
+	}
+}
+
+// gemmMacroAsm runs the AVX2 micro-kernel over one packed panel pair,
+// accumulating into the C block at (ic, jc). The kernel always computes a
+// full 4x8 tile into a stack block; the write-back loop trims edges.
+func gemmMacroAsm(aPack, bPack []float64, c *Matrix, ic, jc, mcEff, ncEff, kcEff int) {
+	const nr = gemmNRAsm
+	ldc := c.Cols
+	var acc [gemmMR * nr]float64
+	for jr := 0; jr*nr < ncEff; jr++ {
+		j0 := jc + jr*nr
+		cols := min2(nr, jc+ncEff-j0)
+		bp := bPack[jr*kcEff*nr : (jr+1)*kcEff*nr]
+		for ir := 0; ir*gemmMR < mcEff; ir++ {
+			i0 := ic + ir*gemmMR
+			rows := min2(gemmMR, ic+mcEff-i0)
+			ap := aPack[ir*kcEff*gemmMR : (ir+1)*kcEff*gemmMR]
+			gemmAsm4x8(int64(kcEff), &ap[0], &bp[0], &acc[0])
+			if rows == gemmMR && cols == nr {
+				for r := 0; r < gemmMR; r++ {
+					crow := c.Data[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+nr]
+					av := acc[r*nr : r*nr+nr]
+					crow[0] += av[0]
+					crow[1] += av[1]
+					crow[2] += av[2]
+					crow[3] += av[3]
+					crow[4] += av[4]
+					crow[5] += av[5]
+					crow[6] += av[6]
+					crow[7] += av[7]
+				}
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				crow := c.Data[(i0+r)*ldc+j0:]
+				for j := 0; j < cols; j++ {
+					crow[j] += acc[r*nr+j]
+				}
+			}
+		}
+	}
+}
+
+// gemmMacro is the portable macro loop over the packed panels with the
+// 4x4 scalar micro-kernel.
+func gemmMacro(aPack, bPack []float64, c *Matrix, ic, jc, mcEff, ncEff, kcEff int) {
+	ldc := c.Cols
+	for jr := 0; jr*gemmNR < ncEff; jr++ {
+		j0 := jc + jr*gemmNR
+		cols := min2(gemmNR, jc+ncEff-j0)
+		bp := bPack[jr*kcEff*gemmNR : (jr+1)*kcEff*gemmNR]
+		for ir := 0; ir*gemmMR < mcEff; ir++ {
+			i0 := ic + ir*gemmMR
+			rows := min2(gemmMR, ic+mcEff-i0)
+			ap := aPack[ir*kcEff*gemmMR : (ir+1)*kcEff*gemmMR]
+			if rows == gemmMR && cols == gemmNR {
+				gemmMicro4x4(ap, bp,
+					c.Data[(i0+0)*ldc+j0:(i0+0)*ldc+j0+gemmNR],
+					c.Data[(i0+1)*ldc+j0:(i0+1)*ldc+j0+gemmNR],
+					c.Data[(i0+2)*ldc+j0:(i0+2)*ldc+j0+gemmNR],
+					c.Data[(i0+3)*ldc+j0:(i0+3)*ldc+j0+gemmNR])
+				continue
+			}
+			var acc [gemmMR * gemmNR]float64
+			gemmMicroAcc(ap, bp, &acc)
+			for r := 0; r < rows; r++ {
+				crow := c.Data[(i0+r)*ldc+j0:]
+				for j := 0; j < cols; j++ {
+					crow[j] += acc[r*gemmNR+j]
+				}
+			}
+		}
+	}
+}
+
+// gemmMicro4x4 is the portable inner kernel: a full 4x4 block of C held
+// in sixteen scalar accumulators while one packed A strip and one packed
+// B strip stream through once. The len-guarded reslicing walk keeps every
+// access bounds-check-free.
+func gemmMicro4x4(a, b []float64, c0, c1, c2, c3 []float64) {
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	var s20, s21, s22, s23 float64
+	var s30, s31, s32, s33 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		s00 += a0 * b0
+		s01 += a0 * b1
+		s02 += a0 * b2
+		s03 += a0 * b3
+		s10 += a1 * b0
+		s11 += a1 * b1
+		s12 += a1 * b2
+		s13 += a1 * b3
+		s20 += a2 * b0
+		s21 += a2 * b1
+		s22 += a2 * b2
+		s23 += a2 * b3
+		s30 += a3 * b0
+		s31 += a3 * b1
+		s32 += a3 * b2
+		s33 += a3 * b3
+		a = a[4:]
+		b = b[4:]
+	}
+	if len(c0) < 4 || len(c1) < 4 || len(c2) < 4 || len(c3) < 4 {
+		panic("tensor: gemmMicro4x4 short C rows")
+	}
+	c0[0] += s00
+	c0[1] += s01
+	c0[2] += s02
+	c0[3] += s03
+	c1[0] += s10
+	c1[1] += s11
+	c1[2] += s12
+	c1[3] += s13
+	c2[0] += s20
+	c2[1] += s21
+	c2[2] += s22
+	c2[3] += s23
+	c3[0] += s30
+	c3[1] += s31
+	c3[2] += s32
+	c3[3] += s33
+}
+
+// gemmMicroAcc is gemmMicro4x4 writing into a caller-held accumulator
+// block, for edge tiles whose C rows or columns are short.
+func gemmMicroAcc(a, b []float64, acc *[gemmMR * gemmNR]float64) {
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	var s20, s21, s22, s23 float64
+	var s30, s31, s32, s33 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		s00 += a0 * b0
+		s01 += a0 * b1
+		s02 += a0 * b2
+		s03 += a0 * b3
+		s10 += a1 * b0
+		s11 += a1 * b1
+		s12 += a1 * b2
+		s13 += a1 * b3
+		s20 += a2 * b0
+		s21 += a2 * b1
+		s22 += a2 * b2
+		s23 += a2 * b3
+		s30 += a3 * b0
+		s31 += a3 * b1
+		s32 += a3 * b2
+		s33 += a3 * b3
+		a = a[4:]
+		b = b[4:]
+	}
+	acc[0], acc[1], acc[2], acc[3] = s00, s01, s02, s03
+	acc[4], acc[5], acc[6], acc[7] = s10, s11, s12, s13
+	acc[8], acc[9], acc[10], acc[11] = s20, s21, s22, s23
+	acc[12], acc[13], acc[14], acc[15] = s30, s31, s32, s33
+}

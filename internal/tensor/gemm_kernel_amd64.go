@@ -1,0 +1,41 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// gemmAsm4x8 is the AVX2+FMA micro-kernel (gemm_kernel_amd64.s): it
+// fills a contiguous 4x8 accumulator block from packed kc x 4 A and
+// kc x 8 B panels.
+//
+//go:noescape
+func gemmAsm4x8(kc int64, a, b, acc *float64)
+
+func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() uint64
+
+// haveGemmAsm reports FMA + AVX2 with OS-enabled YMM state, the
+// prerequisites of gemmAsm4x8.
+var haveGemmAsm = detectGemmAsm()
+
+func detectGemmAsm() bool {
+	maxID, _, _, _ := cpuidRaw(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidRaw(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state.
+	if xgetbv0()&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidRaw(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

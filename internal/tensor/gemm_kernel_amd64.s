@@ -1,0 +1,91 @@
+// AVX2+FMA micro-kernel for the cache-blocked packed GEMM
+// (gemm_blocked.go). Only entered when detectGemmAsm reports FMA, AVX2,
+// and OS YMM state support; every other configuration runs the pure-Go
+// 4x4 micro-kernel.
+
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func gemmAsm4x8(kc int64, a, b, acc *float64)
+//
+// Computes a full 4x8 block acc[r*8+j] = sum_p a[p*4+r] * b[p*8+j] over
+// the packed panels a (kc x 4, row-minor) and b (kc x 8). The caller
+// accumulates acc into C, handling edge tiles.
+//
+// Register plan: Y0..Y7 hold the 4x8 accumulator block (two YMM per
+// row), Y12/Y13 the current eight b values, Y14 the broadcast a value.
+TEXT ·gemmAsm4x8(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+
+	VBROADCASTSD (SI), Y14
+	VFMADD231PD Y12, Y14, Y0
+	VFMADD231PD Y13, Y14, Y1
+
+	VBROADCASTSD 8(SI), Y14
+	VFMADD231PD Y12, Y14, Y2
+	VFMADD231PD Y13, Y14, Y3
+
+	VBROADCASTSD 16(SI), Y14
+	VFMADD231PD Y12, Y14, Y4
+	VFMADD231PD Y13, Y14, Y5
+
+	VBROADCASTSD 24(SI), Y14
+	VFMADD231PD Y12, Y14, Y6
+	VFMADD231PD Y13, Y14, Y7
+
+	ADDQ $32, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL  CX, CX
+	XGETBV
+	SHLQ  $32, DX
+	ORQ   DX, AX
+	MOVQ  AX, ret+0(FP)
+	RET

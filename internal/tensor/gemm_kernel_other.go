@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Non-amd64 (or purego) builds run the portable 4x4 micro-kernel.
+const haveGemmAsm = false
+
+// gemmAsm4x8 is never called when haveGemmAsm is false.
+func gemmAsm4x8(kc int64, a, b, acc *float64) {
+	panic("tensor: gemmAsm4x8 without asm support")
+}

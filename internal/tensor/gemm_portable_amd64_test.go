@@ -1,0 +1,55 @@
+//go:build amd64 && !purego
+
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGemmBlockedPortableFallback forces the pure-Go 4x4 micro-kernel on
+// machines where the assembly path would normally run, so the fallback
+// taken on non-AVX2 hardware keeps correctness coverage.
+func TestGemmBlockedPortableFallback(t *testing.T) {
+	if !haveGemmAsm {
+		t.Skip("no asm support: the portable path is already under test")
+	}
+	haveGemmAsm = false
+	defer func() { haveGemmAsm = true }()
+
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range [][3]int{{40, 40, 40}, {121, 121, 121}, {130, 37, 257}} {
+		m, n, k := s[0], s[1], s[2]
+		for _, tt := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			transA, transB := tt[0], tt[1]
+			ar, ac := m, k
+			if transA {
+				ar, ac = k, m
+			}
+			br, bc := k, n
+			if transB {
+				br, bc = n, k
+			}
+			a := randMat(rng, ar, ac)
+			b := randMat(rng, br, bc)
+			c := randMat(rng, m, n)
+			want := c.Clone()
+			gemmNaive(transA, transB, 1.25, a, b, 1, want)
+			gemmBlocked(transA, transB, 1.25, a, b, c)
+			var maxDiff float64
+			for i, v := range c.Data {
+				d := v - want.Data[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDiff {
+					maxDiff = d
+				}
+			}
+			if maxDiff > 1e-13*float64(k) {
+				t.Errorf("m=%d n=%d k=%d transA=%v transB=%v: max diff %g",
+					m, n, k, transA, transB, maxDiff)
+			}
+		}
+	}
+}

@@ -96,6 +96,20 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 	if alpha == 0 || am == 0 || bn == 0 || ak == 0 {
 		return
 	}
+	// Large products go through the cache-blocked packed kernel
+	// (gemm_blocked.go); tiny tiles keep the direct loops below, whose
+	// setup cost is near zero.
+	if int64(am)*int64(bn)*int64(ak) >= gemmBlockCutoff {
+		gemmBlocked(transA, transB, alpha, a, b, c)
+		return
+	}
+	gemmDirect(transA, transB, alpha, a, b, c)
+}
+
+// gemmDirect dispatches to the unpacked loops: the fallback for tiles
+// below the blocking cutoff and the baseline the kernel benchmarks
+// measure the packed path against.
+func gemmDirect(transA, transB bool, alpha float64, a, b, c *Matrix) {
 	switch {
 	case !transA && !transB:
 		gemmNN(alpha, a, b, c)

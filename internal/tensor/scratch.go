@@ -1,0 +1,51 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"parsec/internal/tensor/pool"
+)
+
+// Scratch tiles: pooled Tile4 allocation for task bodies whose buffers
+// have a clear single-owner lifetime (the chain C buffer, the SORT
+// permutation temporary, reduction inputs). The backing storage comes
+// from the size-class pool and the Tile4 headers cycle through their own
+// sync.Pool, so a steady-state Get/Put cycle performs no heap allocation.
+
+var tile4HeaderPool = sync.Pool{New: func() any { return new(Tile4) }}
+
+// GetTile4 returns a pooled tile with the given extents and unspecified
+// contents, for destinations that are fully overwritten (Sort4 targets,
+// GEMM packing). Use GetTile4Zeroed for accumulation buffers.
+func GetTile4(d0, d1, d2, d3 int) *Tile4 {
+	if d0 < 0 || d1 < 0 || d2 < 0 || d3 < 0 {
+		panic(fmt.Sprintf("tensor: GetTile4(%d,%d,%d,%d)", d0, d1, d2, d3))
+	}
+	t := tile4HeaderPool.Get().(*Tile4)
+	t.Dim = [4]int{d0, d1, d2, d3}
+	t.Data = pool.Get(d0 * d1 * d2 * d3)
+	return t
+}
+
+// GetTile4Zeroed returns a pooled, zeroed tile with the given extents.
+func GetTile4Zeroed(d0, d1, d2, d3 int) *Tile4 {
+	t := GetTile4(d0, d1, d2, d3)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// PutTile4 returns a tile obtained from GetTile4 to the pool. Tiles from
+// NewTile4 are also accepted (their storage joins the pool if it fits a
+// size class). The caller must not retain any reference to t or t.Data.
+func PutTile4(t *Tile4) {
+	if t == nil {
+		return
+	}
+	pool.Put(t.Data)
+	t.Data = nil
+	t.Dim = [4]int{}
+	tile4HeaderPool.Put(t)
+}

@@ -1,0 +1,115 @@
+package tensor
+
+// Cache-blocked SORT_4 kernels. The direct loop nest (sort4Scatter)
+// streams the source sequentially but scatters writes with a stride as
+// large as the product of three destination extents; on the tile sizes
+// the CCSD workloads use (11^4 .. 36*37*36*37 elements) that write
+// pattern walks far outside L1 between consecutive stores. The kernels
+// here restructure the loops so that on every tile either both sides
+// are contiguous (perm[3] == 3) or contiguous reads are paired with
+// writes confined to a cache-resident sub-tile.
+
+const (
+	// sort4BlockCutoff is the element count below which blocking is not
+	// worth the extra loop overhead; tiny tiles (e.g. the water system,
+	// <= 3^4 elements) take the direct scatter path.
+	sort4BlockCutoff = 4096
+
+	// sort4BU x sort4BT is the (unit-dst-stride axis x innermost src
+	// axis) sub-tile: reads stay contiguous over sort4BT elements while
+	// writes revisit a block of at most sort4BU*sort4BT*8 bytes = 16 KiB,
+	// which fits L1 alongside the read stream.
+	sort4BU = 32
+	sort4BT = 64
+)
+
+// sort4Contig handles permutations that keep the innermost axis in
+// place (perm[3] == 3): both source and destination runs over i3 are
+// contiguous, so the permutation reduces to copying d3-length rows.
+func sort4Contig(dst, src *Tile4, perm [4]int, scale float64, add bool) {
+	str := sort4Strides(dst, perm)
+	d0, d1, d2, d3 := src.Dim[0], src.Dim[1], src.Dim[2], src.Dim[3]
+	s := src.Data
+	idx := 0
+	for i0 := 0; i0 < d0; i0++ {
+		o0 := i0 * str[0]
+		for i1 := 0; i1 < d1; i1++ {
+			o1 := o0 + i1*str[1]
+			for i2 := 0; i2 < d2; i2++ {
+				o2 := o1 + i2*str[2]
+				srow := s[idx : idx+d3]
+				drow := dst.Data[o2 : o2+d3]
+				if add {
+					for t, v := range srow {
+						drow[t] += scale * v
+					}
+				} else {
+					for t, v := range srow {
+						drow[t] = scale * v
+					}
+				}
+				idx += d3
+			}
+		}
+	}
+}
+
+// sort4Blocked handles permutations that move the innermost axis
+// (perm[3] != 3). Let u = perm[3]: u is the source axis whose unit step
+// lands on the destination's unit stride. The two remaining source axes
+// iterate outermost; the (u, i3) plane is processed in sort4BU x
+// sort4BT sub-tiles so reads stream contiguously along i3 while the
+// strided writes stay within a cache-resident block.
+func sort4Blocked(dst, src *Tile4, perm [4]int, scale float64, add bool) {
+	str := sort4Strides(dst, perm)
+	u := perm[3]
+	// The two source axes other than u and 3, in ascending order.
+	v, w := -1, -1
+	for k := 0; k < 3; k++ {
+		if k == u {
+			continue
+		}
+		if v < 0 {
+			v = k
+		} else {
+			w = k
+		}
+	}
+	sstr := [4]int{
+		src.Dim[1] * src.Dim[2] * src.Dim[3],
+		src.Dim[2] * src.Dim[3],
+		src.Dim[3],
+		1,
+	}
+	dv, dw, du, d3 := src.Dim[v], src.Dim[w], src.Dim[u], src.Dim[3]
+	st3 := str[3]
+	s := src.Data
+	d := dst.Data
+	for iv := 0; iv < dv; iv++ {
+		for iw := 0; iw < dw; iw++ {
+			srcBase := iv*sstr[v] + iw*sstr[w]
+			dstBase := iv*str[v] + iw*str[w]
+			for u0 := 0; u0 < du; u0 += sort4BU {
+				uEnd := min2(u0+sort4BU, du)
+				for t0 := 0; t0 < d3; t0 += sort4BT {
+					tEnd := min2(t0+sort4BT, d3)
+					for iu := u0; iu < uEnd; iu++ {
+						srow := s[srcBase+iu*sstr[u]+t0 : srcBase+iu*sstr[u]+tEnd]
+						// str[u] == 1 by construction: perm[3] == u
+						// means src axis u maps to dst axis 3.
+						doff := dstBase + iu + t0*st3
+						if add {
+							for t, x := range srow {
+								d[doff+t*st3] += scale * x
+							}
+						} else {
+							for t, x := range srow {
+								d[doff+t*st3] = scale * x
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// allPerms4 returns all 24 permutations of {0,1,2,3}.
+func allPerms4() [][4]int {
+	var out [][4]int
+	var rec func(cur []int, used [4]bool)
+	rec = func(cur []int, used [4]bool) {
+		if len(cur) == 4 {
+			out = append(out, [4]int{cur[0], cur[1], cur[2], cur[3]})
+			return
+		}
+		for p := 0; p < 4; p++ {
+			if !used[p] {
+				used[p] = true
+				rec(append(cur, p), used)
+				used[p] = false
+			}
+		}
+	}
+	rec(nil, [4]bool{})
+	return out
+}
+
+// TestSort4BlockedProperty checks Sort4 and Sort4Add against the direct
+// scatter loops for every permutation over shapes that exercise the
+// tiny-tile path, the contiguous path, the blocked path, and ragged
+// block edges.
+func TestSort4BlockedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][4]int{
+		{2, 3, 4, 5},     // below cutoff: scatter path
+		{11, 11, 11, 11}, // benzene tile, just above cutoff
+		{16, 16, 16, 16}, // root bench shape
+		{36, 37, 36, 37}, // beta-carotene out tile
+		{5, 7, 97, 3},    // skewed: long axis in the middle
+		{3, 130, 2, 70},  // extents straddling the block sizes
+	}
+	for i := 0; i < 6; i++ {
+		shapes = append(shapes, [4]int{
+			1 + rng.Intn(20), 1 + rng.Intn(20), 1 + rng.Intn(20), 1 + rng.Intn(20),
+		})
+	}
+	for _, dim := range shapes {
+		src := NewTile4(dim[0], dim[1], dim[2], dim[3])
+		src.FillRandom(uint64(dim[0]*1000+dim[3]), 1)
+		for _, perm := range allPerms4() {
+			for _, add := range []bool{false, true} {
+				name := fmt.Sprintf("%v/perm%v/add=%v", dim, perm, add)
+				want := NewTile4Sorted(src, perm)
+				got := NewTile4Sorted(src, perm)
+				want.FillRandom(99, 1)
+				copy(got.Data, want.Data)
+				scale := 1.5 - float64(perm[0])
+				sort4Scatter(want, src, perm, scale, add)
+				if add {
+					Sort4Add(got, src, perm, scale)
+				} else {
+					Sort4(got, src, perm, scale)
+				}
+				if d := got.MaxAbsDiff(want); d != 0 {
+					t.Fatalf("%s: max abs diff %g vs scatter reference", name, d)
+				}
+			}
+		}
+	}
+}
+
+// NewTile4Sorted allocates a destination tile shaped for Sort4(src, perm).
+func NewTile4Sorted(src *Tile4, perm [4]int) *Tile4 {
+	d := src.SortedDims(perm)
+	return NewTile4(d[0], d[1], d[2], d[3])
+}
+
+func benchSort4(b *testing.B, dim [4]int, perm [4]int, impl func(dst, src *Tile4, perm [4]int, scale float64, add bool)) {
+	src := NewTile4(dim[0], dim[1], dim[2], dim[3])
+	src.FillRandom(11, 1)
+	dst := NewTile4Sorted(src, perm)
+	b.SetBytes(src.Bytes() * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		impl(dst, src, perm, -1, false)
+	}
+}
+
+// BenchmarkKernelSort4BlockedVsScatter compares the blocked SORT_4
+// against the direct scatter loops on the workload shapes.
+func BenchmarkKernelSort4BlockedVsScatter(b *testing.B) {
+	cases := []struct {
+		name string
+		dim  [4]int
+		perm [4]int
+	}{
+		{"16x16x16x16-p2031", [4]int{16, 16, 16, 16}, [4]int{2, 0, 3, 1}},
+		{"36x37x36x37-p2031", [4]int{36, 37, 36, 37}, [4]int{2, 0, 3, 1}},
+		{"36x37x36x37-p1032", [4]int{36, 37, 36, 37}, [4]int{1, 0, 3, 2}},
+		{"36x37x36x37-p3210", [4]int{36, 37, 36, 37}, [4]int{3, 2, 1, 0}},
+		{"11x11x11x11-p2301", [4]int{11, 11, 11, 11}, [4]int{2, 3, 0, 1}},
+	}
+	for _, c := range cases {
+		b.Run("blocked-"+c.name, func(b *testing.B) {
+			benchSort4(b, c.dim, c.perm, sort4Impl)
+		})
+		b.Run("scatter-"+c.name, func(b *testing.B) {
+			benchSort4(b, c.dim, c.perm, sort4Scatter)
+		})
+	}
+}

@@ -117,15 +117,10 @@ func Sort4Add(dst, src *Tile4, perm [4]int, scale float64) {
 	sort4Impl(dst, src, perm, scale, true)
 }
 
-func sort4Impl(dst, src *Tile4, perm [4]int, scale float64, add bool) {
-	checkPerm(perm)
-	want := src.SortedDims(perm)
-	if dst.Dim != want {
-		panic(fmt.Sprintf("tensor: Sort4 dst dims %v, want %v for perm %v of %v",
-			dst.Dim, want, perm, src.Dim))
-	}
-	// Destination strides in source index order: moving src index k by one
-	// moves the destination offset by dstStride[position of k in perm].
+// sort4Strides returns the destination strides in source index order:
+// moving src index k by one moves the destination offset by
+// dstStride[position of k in perm].
+func sort4Strides(dst *Tile4, perm [4]int) [4]int {
 	var pos [4]int
 	for k, p := range perm {
 		pos[p] = k
@@ -140,6 +135,35 @@ func sort4Impl(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 	for k := 0; k < 4; k++ {
 		str[k] = dstStride[pos[k]]
 	}
+	return str
+}
+
+func sort4Impl(dst, src *Tile4, perm [4]int, scale float64, add bool) {
+	checkPerm(perm)
+	want := src.SortedDims(perm)
+	if dst.Dim != want {
+		panic(fmt.Sprintf("tensor: Sort4 dst dims %v, want %v for perm %v of %v",
+			dst.Dim, want, perm, src.Dim))
+	}
+	// Blocked paths (sort4_blocked.go) keep either reads or writes
+	// contiguous on cache-sized sub-tiles; tiny tiles (the water system)
+	// take the direct strided scatter below.
+	if len(src.Data) >= sort4BlockCutoff {
+		if perm[3] == 3 {
+			sort4Contig(dst, src, perm, scale, add)
+		} else {
+			sort4Blocked(dst, src, perm, scale, add)
+		}
+		return
+	}
+	sort4Scatter(dst, src, perm, scale, add)
+}
+
+// sort4Scatter is the direct loop nest: sequential reads, strided
+// writes. It is the small-tile path and the reference the blocked
+// kernels are property-tested against.
+func sort4Scatter(dst, src *Tile4, perm [4]int, scale float64, add bool) {
+	str := sort4Strides(dst, perm)
 	d0, d1, d2, d3 := src.Dim[0], src.Dim[1], src.Dim[2], src.Dim[3]
 	s := src.Data
 	idx := 0
@@ -165,10 +189,14 @@ func sort4Impl(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 	}
 }
 
-// Sort4Flops returns the modeled "work" of a SORT_4 on a tile of n
-// elements; it is memory movement, so flops are zero, but callers use the
-// element count for byte accounting.
+// Sort4Flops returns the modeled arithmetic of a SORT_4 on a tile of n
+// elements. The kernel is pure memory movement, so this is always zero;
+// cost models account for it through Sort4Bytes instead.
 func Sort4Flops(n int) int64 { return 0 }
+
+// Sort4Bytes returns the memory traffic of one SORT_4 over a tile of n
+// elements: n float64 reads plus n float64 writes.
+func Sort4Bytes(n int) int64 { return 16 * int64(n) }
 
 // FillRandom fills the tile with deterministic pseudo-random values in
 // [-scale, scale) derived from the seed, for building reproducible
