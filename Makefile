@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fig9 traces examples clean
+.PHONY: all build vet test race bench lint fig9 traces profile examples clean
 
-all: build vet test
+all: build vet test lint
+
+# Documentation hygiene: godoc coverage and Markdown link integrity.
+lint:
+	$(GO) run ./cmd/doclint -strict ./...
+	$(GO) run ./cmd/mdlint .
 
 build:
 	$(GO) build ./...
@@ -30,6 +35,10 @@ traces:
 	$(GO) run ./cmd/cctrace -variant v4 -preset betacarotene -nodes 32 -cores 7 -svg trace_v4.svg
 	$(GO) run ./cmd/cctrace -variant v2 -preset betacarotene -nodes 32 -cores 7 -svg trace_v2.svg
 	$(GO) run ./cmd/cctrace -variant original -preset betacarotene -nodes 32 -cores 7 -svg trace_original.svg
+
+# Observability profiles (histograms, idle bubbles, critical path).
+profile:
+	$(GO) run ./cmd/ccsim -profile -profileout profile.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -47,6 +47,11 @@ func main() {
 	schedWorkers := flag.String("schedworkers", "1,2,4,8", "comma-separated worker counts for -sched")
 	kernels := flag.Bool("kernels", false, "benchmark the dense kernels over real workload tile shapes")
 	kernelsOut := flag.String("kernelsout", "BENCH_kernels.json", "JSON baseline path for -kernels (empty to skip writing)")
+	profile := flag.Bool("profile", false, "print observability profiles (duration histograms, idle bubbles, comm volumes, critical path) instead of Fig 9")
+	profileOut := flag.String("profileout", "", "also write the -profile results as JSON to this file")
+	profileCores := flag.Int("profilecores", 7, "cores/node for the simulated -profile runs")
+	profileWorkers := flag.Int("profileworkers", 4, "worker goroutines for the real -profile run")
+	profileReal := flag.String("profilereal", "benzene", "molecule preset for the real-runtime -profile run (kept small: real arithmetic at paper scale needs tens of GB and ~an hour per core)")
 	flag.Parse()
 
 	if *kernels {
@@ -60,10 +65,17 @@ func main() {
 		*preset = "benzene"
 		*nodes = 8
 	}
-	if *sched && !flagWasSet("preset") && !*quick {
+	if (*sched || *profile) && !flagWasSet("preset") && !*quick {
 		// Real arithmetic at beta-carotene scale takes minutes per cell;
-		// the scheduler sweep defaults to the small system.
+		// the sweeps that execute for real default to the small system.
 		*preset = "water"
+	}
+	if *profile && !flagWasSet("variants") {
+		// v2 vs v4 is the paper's Fig 11 comparison: identical graphs, with
+		// and without priorities, so the startup bubble shows up directly in
+		// the idle section. The original baseline adds the Figs 12/13
+		// communication signature (GET/ACC volumes, no dataflow deliveries).
+		*variants = "original,v2,v4"
 	}
 	sys, err := molecule.Preset(*preset)
 	if err != nil {
@@ -74,6 +86,19 @@ func main() {
 		fatal(err)
 	}
 	names := strings.Split(*variants, ",")
+
+	if *profile {
+		mcfg := cluster.CascadeLike()
+		mcfg.Nodes = *nodes
+		realSys, err := molecule.Preset(*profileReal)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runProfile(sys, realSys, mcfg, names, *profileCores, *profileWorkers, *profileOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *sched {
 		workerCounts, err := parseInts(*schedWorkers)
@@ -166,7 +191,14 @@ func runOne(sys *molecule.System, name string, mcfg cluster.Config, cores int) (
 func runSchedSweep(sys *molecule.System, names []string, workerCounts []int) error {
 	w := tce.Inspect(tce.T2_7(sys), nil)
 	fmt.Printf("system: %v\n", sys)
-	fmt.Printf("workload: %v\n\n", w.Stats())
+	fmt.Printf("workload: %v\n", w.Stats())
+	// The caveat travels with the numbers: this output is committed as a
+	// docs artifact and read without the generating command at hand.
+	fmt.Println(`note: real execution; numbers vary with the host. steals is hits/attempts
+("-": the mode never probes). imbalance is max/mean per-worker tasks — near 1
+with real parallelism, approaching W when one worker monopolizes the run
+(e.g. on a 1-vCPU container). DESIGN.md section 6 documents the scheduler.`)
+	fmt.Println()
 
 	modes := []struct {
 		name string

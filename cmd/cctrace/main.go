@@ -9,12 +9,15 @@
 // Usage:
 //
 //	cctrace [-variant v4] [-preset benzene] [-nodes 8] [-cores 7]
-//	        [-width 160] [-svg out.svg] [-csv out.csv]
+//	        [-width 160] [-svg out.svg] [-csv out.csv] [-chrome out.json]
+//	        [-pprof localhost:6060]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"parsec/internal/ccsd"
@@ -34,7 +37,19 @@ func main() {
 	chromePath := flag.String("chrome", "", "also write a Chrome/Perfetto trace-event JSON to this file")
 	from := flag.Float64("from", 0, "zoom: render only events after this many seconds (Fig 13)")
 	to := flag.Float64("to", 0, "zoom: render only events before this many seconds (0 = end)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the simulation runs")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The DES replay is CPU-bound host code; pprof profiles the
+		// simulator itself, not the simulated machine.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cctrace: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	sys, err := molecule.Preset(*preset)
 	if err != nil {

@@ -1,0 +1,204 @@
+// Command doclint enforces the repository's godoc conventions without
+// external tooling: every package must carry a package-level doc
+// comment, and every exported top-level identifier (funcs, types,
+// methods on exported types, and the names in exported const/var
+// groups) must be documented. Undocumented packages are errors (exit
+// status 1); undocumented exported identifiers are listed as warnings
+// and counted, and -strict promotes them to errors.
+//
+// Usage:
+//
+//	go run ./cmd/doclint [-strict] ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	strict := flag.Bool("strict", false, "treat undocumented exported identifiers as errors, not warnings")
+	flag.Parse()
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	var dirs []string
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		if root == "" || root == "." {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != "." || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	sort.Strings(dirs)
+
+	var pkgErrs, identWarns int
+	for _, dir := range dirs {
+		pe, iw := lintDir(dir)
+		pkgErrs += pe
+		identWarns += iw
+	}
+	if identWarns > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", identWarns)
+	}
+	if pkgErrs > 0 || (*strict && identWarns > 0) {
+		os.Exit(1)
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDir parses one directory's non-test Go files and reports the
+// number of missing-package-comment errors (0 or 1) and undocumented
+// exported identifiers.
+func lintDir(dir string) (pkgErrs, identWarns int) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", dir, err))
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasDoc = true
+				break
+			}
+		}
+		if !hasDoc {
+			fmt.Fprintf(os.Stderr, "doclint: %s: package %s has no package comment\n", dir, name)
+			pkgErrs++
+		}
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			identWarns += lintFile(fset, pkg.Files[fname])
+		}
+	}
+	return pkgErrs, identWarns
+}
+
+// lintFile reports undocumented exported top-level identifiers in one
+// file. A GenDecl doc comment covers all of its specs, matching godoc's
+// rendering of grouped const/var/type declarations.
+func lintFile(fset *token.FileSet, f *ast.File) int {
+	warns := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %s %s is exported but undocumented\n",
+			fset.Position(pos), kind, name)
+		warns++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue
+			}
+			kind := "func"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), d.Tok.String(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return warns
+}
+
+// exportedRecv reports whether a method receiver's base type is
+// exported; methods on unexported types don't appear in godoc.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doclint:", err)
+	os.Exit(1)
+}

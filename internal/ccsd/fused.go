@@ -299,6 +299,7 @@ type FusionResult struct {
 	Fused       sim.Time
 }
 
+// String renders the comparison with the fused variant's relative gain.
 func (f FusionResult) String() string {
 	return fmt.Sprintf("staged=%v (kernel %v + energy %v)  fused=%v  gain=%.1f%%",
 		f.Staged, f.StagedParts[0], f.StagedParts[1], f.Fused,

@@ -4,6 +4,7 @@ import (
 	"parsec/internal/ga"
 	"parsec/internal/runtime"
 	"parsec/internal/tce"
+	"parsec/internal/trace"
 )
 
 // RealResult is the outcome of a shared-memory execution with real data.
@@ -31,6 +32,13 @@ func RunRealQueued(w *tce.Workload, spec VariantSpec, workers int, queue runtime
 // (<= 0 keeps the variant default), for the §IV-A locality/parallelism
 // ablation.
 func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode) (RealResult, error) {
+	return runRealTraced(w, spec, workers, segHeight, queue, nil)
+}
+
+// runRealTraced is runRealWithOptions with an optional trace sink;
+// when tr is non-nil every completed task is recorded through
+// runtime.TraceObserver.
+func runRealTraced(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode, tr *trace.Trace) (RealResult, error) {
 	store := ga.NewStore(1)
 	aName, bName := w.InputTensors()
 	a := store.Create(aName)
@@ -48,7 +56,11 @@ func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight in
 	if !spec.UsePriorities {
 		policy = runtime.LIFOOrder
 	}
-	rep, err := runtime.Run(g, runtime.Config{Workers: workers, Policy: policy, Queues: queue})
+	rcfg := runtime.Config{Workers: workers, Policy: policy, Queues: queue}
+	if tr != nil {
+		rcfg.Observer = runtime.TraceObserver(0, tr)
+	}
+	rep, err := runtime.Run(g, rcfg)
 	if err != nil {
 		return RealResult{}, err
 	}

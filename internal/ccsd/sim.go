@@ -78,15 +78,22 @@ type SimRunConfig struct {
 // distribution regardless of how the workload was located, so callers can
 // reuse one inspection across machine sizes.
 func RunSim(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc SimRunConfig) (simexec.Result, error) {
+	res, _, err := runSimGA(sys, spec, mcfg, rc)
+	return res, err
+}
+
+// runSimGA is RunSim additionally returning the GA substrate, whose
+// operation counters the profiler reads after the run.
+func runSimGA(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc SimRunConfig) (simexec.Result, *ga.Sim, error) {
 	if rc.CoresPerNode <= 0 {
-		return simexec.Result{}, fmt.Errorf("ccsd: CoresPerNode = %d", rc.CoresPerNode)
+		return simexec.Result{}, nil, fmt.Errorf("ccsd: CoresPerNode = %d", rc.CoresPerNode)
 	}
 	eng := sim.NewEngine()
 	m := cluster.New(eng, mcfg)
 	gs := ga.NewSim(m)
 	k, err := tce.KernelByName(rc.Kernel, sys)
 	if err != nil {
-		return simexec.Result{}, err
+		return simexec.Result{}, nil, err
 	}
 	w := tce.Inspect(k, func(ref tce.BlockRef) int {
 		return gs.Distribution().Owner(ref.Tensor, ref.Key)
@@ -97,7 +104,7 @@ func RunSim(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc SimR
 	if !spec.UsePriorities {
 		policy = simexec.LIFOOrder
 	}
-	return simexec.Run(g, m, gs, simexec.Config{
+	res, err := simexec.Run(g, m, gs, simexec.Config{
 		CoresPerNode: rc.CoresPerNode,
 		Policy:       policy,
 		Queues:       rc.Queues,
@@ -105,6 +112,7 @@ func RunSim(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc SimR
 		Trace:        rc.Trace,
 		Horizon:      rc.Horizon,
 	})
+	return res, gs, err
 }
 
 // RunSimBaseline executes the original CGP code path on a fresh simulated

@@ -31,6 +31,7 @@ type VariantSpec struct {
 	Description string
 }
 
+// String returns "name: description".
 func (v VariantSpec) String() string { return fmt.Sprintf("%s: %s", v.Name, v.Description) }
 
 // Variants returns the five variants evaluated in §V, in paper order.

@@ -36,12 +36,16 @@ type Config struct {
 
 // Result summarizes a baseline run.
 type Result struct {
-	Makespan     sim.Time
-	Chains       int
-	Gets, Adds   int64
-	ChainsByRank map[string]int // "node/rank" -> chains executed
+	Makespan   sim.Time
+	Chains     int
+	Gets, Adds int64
+	// GetBytes and AddBytes are the payload volumes behind Gets and Adds
+	// (the GET-vs-ACC communication split of the profile report).
+	GetBytes, AddBytes int64
+	ChainsByRank       map[string]int // "node/rank" -> chains executed
 }
 
+// String summarizes the run in one line.
 func (r Result) String() string {
 	return fmt.Sprintf("makespan=%v chains=%d gets=%d adds=%d", r.Makespan, r.Chains, r.Gets, r.Adds)
 }
@@ -82,6 +86,7 @@ func Run(w *tce.Workload, m *cluster.Machine, gs *ga.Sim, cfg Config) (Result, e
 	}
 	res.Makespan = end
 	res.Gets, res.Adds = gs.Stats()
+	res.GetBytes, res.AddBytes = gs.ByteStats()
 	return res, nil
 }
 

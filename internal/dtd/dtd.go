@@ -24,12 +24,14 @@ import (
 // Mode is how a task accesses one datum.
 type Mode int
 
+// The access modes: read-only, write-only, and read-modify-write.
 const (
 	ModeRead Mode = iota
 	ModeWrite
 	ModeRW
 )
 
+// String renders the mode as R, W, or RW.
 func (m Mode) String() string {
 	return [...]string{"R", "W", "RW"}[m]
 }

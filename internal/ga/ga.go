@@ -206,7 +206,8 @@ type Sim struct {
 	mach    *cluster.Machine
 	counter *sim.Counter
 
-	gets, accs atomic.Int64
+	gets, accs         atomic.Int64
+	getBytes, accBytes atomic.Int64
 }
 
 // NewSim returns a simulated GA over the machine. The NXTVAL counter is
@@ -230,6 +231,7 @@ func (g *Sim) Distribution() Distribution { return g.dist }
 // row count). Local accesses cost a pass through node memory bandwidth.
 func (g *Sim) GetHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows int) {
 	g.gets.Add(1)
+	g.getBytes.Add(bytes)
 	if reqNode == owner {
 		g.mach.MemOp(p, reqNode, 2*bytes, false)
 		return
@@ -242,6 +244,7 @@ func (g *Sim) GetHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows in
 // same one-sided path).
 func (g *Sim) AddHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows int) {
 	g.accs.Add(1)
+	g.accBytes.Add(bytes)
 	if reqNode == owner {
 		// Even a local accumulate goes through the GA library's locked
 		// strided update path, serviced by the node's one-sided engine.
@@ -262,3 +265,9 @@ func (g *Sim) ResetNxtVal() { g.counter = sim.NewCounter(g.mach.Eng, g.mach.Cfg.
 
 // Stats returns the number of Get and Acc operations performed.
 func (g *Sim) Stats() (gets, accs int64) { return g.gets.Load(), g.accs.Load() }
+
+// ByteStats returns the payload volume moved by Get and Acc operations —
+// the GET-vs-ACC communication split internal/obsv reports.
+func (g *Sim) ByteStats() (getBytes, accBytes int64) {
+	return g.getBytes.Load(), g.accBytes.Load()
+}

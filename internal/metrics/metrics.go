@@ -176,6 +176,7 @@ func DeriveClaims(f *Fig9, maxCores int) (Claims, error) {
 	return c, nil
 }
 
+// String renders the claims side by side with the paper's numbers.
 func (c Claims) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "original speedup @3 cores/node:      %.2fx (paper: 2.35x)\n", c.OriginalSpeedup3)

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func sampleProfile() *ProfileReport {
+	return &ProfileReport{
+		Title: "v4 sim water 2n x 4c",
+		Span:  2_500_000_000,
+		Tasks: 1234,
+		Hist: []HistRow{
+			{Class: "GEMM", Count: 800, P50: 1_200_000, P95: 3_400_000, P99: 4_100_000, Max: 5_000_000, Total: 1_100_000_000},
+			{Class: "SORT", Count: 200, P50: 400_000, P95: 900_000, P99: 950_000, Max: 1_000_000, Total: 90_000_000},
+			{Class: "NXTVAL", Count: 234, P50: 800, P95: 2_000, P99: 2_300, Max: 2_500, Total: 250_000},
+		},
+		Idle: []IdleRow{
+			{Worker: "n1/t3", Tasks: 150, Busy: 1_900_000_000, Idle: 600_000_000, StartupIdle: 500_000_000, LongestBubble: 500_000_000, BubbleStart: 0},
+			{Worker: "n0/t1", Tasks: 160, Busy: 2_100_000_000, Idle: 400_000_000, StartupIdle: 0, LongestBubble: 300_000_000, BubbleStart: 1_200_000_000},
+		},
+		IdleWorkers:  8,
+		TotalIdle:    2_400_000_000,
+		MeanIdleFrac: 0.12,
+		MeanStartup:  150_000_000,
+		MaxBubble:    500_000_000,
+		MaxBubbleAt:  0,
+		MaxBubbleBy:  "n1/t3",
+		RampClass:    "GEMM",
+		RampMean:     70_000_000,
+		RampMax:      500_000_000,
+		RampMeanFrac: 0.028,
+		RampMaxFrac:  0.2,
+		Comm: []CommRow{
+			{Label: "GET", Ops: 4000, Bytes: 3_200_000_000},
+			{Label: "ACC", Ops: 1000, Bytes: 700_000_000},
+			{Label: "task: WRITE", Ops: 0, Bytes: 650_000_000},
+		},
+		Path: []PathRow{
+			{Class: "GEMM", Tasks: 40, Time: 160_000_000, Frac: 0.8},
+			{Class: "WRITE", Tasks: 10, Time: 30_000_000, Frac: 0.15},
+			{Class: "READ", Tasks: 10, Time: 10_000_000, Frac: 0.05},
+		},
+		CritLength: 200_000_000,
+		TotalWork:  1_200_000_000,
+		MaxSpeedup: 6.0,
+	}
+}
+
+// TestProfileReportGolden pins the exact rendering of the -profile
+// report table. Regenerate with: go test ./internal/metrics -run Golden -update
+func TestProfileReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleProfile().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "profile_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestProfileReportOmitsEmptySections(t *testing.T) {
+	p := &ProfileReport{Title: "empty", Span: 0, Tasks: 0}
+	var buf bytes.Buffer
+	if err := p.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"task durations", "idle:", "communication volume", "critical path"} {
+		if bytes.Contains([]byte(out), []byte(section)) {
+			t.Errorf("empty report contains %q section:\n%s", section, out)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{{500, "500ns"}, {1_500, "1.5us"}, {2_500_000, "2.50ms"}, {3_000_000_000, "3.000s"}} {
+		if got := fmtNS(tc.ns); got != tc.want {
+			t.Errorf("fmtNS(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		b    int64
+		want string
+	}{{12, "12B"}, {4_000, "4.0kB"}, {2_500_000, "2.50MB"}, {3_200_000_000, "3.20GB"}} {
+		if got := fmtBytes(tc.b); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.b, got, tc.want)
+		}
+	}
+}

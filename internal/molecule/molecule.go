@@ -16,6 +16,7 @@ const (
 	Virt                  // particle indices (p3, p4, p5, ...)
 )
 
+// String returns "occ" or "virt".
 func (s SpaceKind) String() string {
 	if s == Occ {
 		return "occ"
@@ -46,6 +47,7 @@ type System struct {
 	Seed       uint64 // seeds the synthetic amplitudes/integrals
 }
 
+// String summarizes the system's sizes in one line.
 func (s *System) String() string {
 	return fmt.Sprintf("%s: %d basis fns (occ %d / virt %d per spin), %d occ + %d virt tiles, %d irreps",
 		s.Name, s.BasisFns, s.NOccupied, s.NVirtual, len(s.Occ), len(s.Virt), s.NIrreps)

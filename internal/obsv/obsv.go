@@ -1,0 +1,537 @@
+// Package obsv is the unified observability layer shared by the real
+// runtime (internal/runtime) and the simulator (internal/simexec). The
+// paper argues entirely from its traces — Fig 11's startup bubble, Figs
+// 12/13's unoverlapped communication, §IV-C's priority-driven variant
+// ordering — and this package turns those pictures into numbers: a
+// metrics registry of log-bucketed per-task-class duration histograms
+// (count/p50/p95/p99/max), per-worker idle-gap accounting (total idle,
+// longest bubble and when it opened, startup idle), communication-volume
+// counters (bytes per class, GET vs ACC), and critical-path attribution
+// that replays the executed DAG to report what fraction of the critical
+// path each task class contributes.
+//
+// A Profile is normally built from a recorded trace with FromTrace,
+// enriched with SetComm and SetCritical, and rendered through
+// internal/metrics (see Report) or exported as JSON (WriteJSON) for
+// regression diffing. cmd/ccsim -profile is the command-line surface.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"parsec/internal/metrics"
+	"parsec/internal/ptg"
+	"parsec/internal/trace"
+)
+
+// nbuckets covers every int64 duration: bucket 0 holds [0,1) ns, bucket
+// i>=1 holds [2^(i-1), 2^i) ns.
+const nbuckets = 65
+
+// Histogram is a log-2-bucketed duration histogram (nanoseconds). The
+// zero value is ready to use; Add is not concurrency-safe (wrap it in a
+// Registry for concurrent recording).
+type Histogram struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	buckets [nbuckets]int64
+}
+
+// bucketOf returns the bucket index for a duration.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return int64(1) << (i - 1), int64(1) << i
+}
+
+// Add records one duration. Negative durations clamp to zero.
+func (h *Histogram) Add(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	if h.Count == 0 || ns < h.Min {
+		h.Min = ns
+	}
+	if ns > h.Max {
+		h.Max = ns
+	}
+	h.Count++
+	h.Sum += ns
+	h.buckets[bucketOf(ns)]++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket where the cumulative count crosses q·Count, clamped
+// to the observed [Min, Max]. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - float64(cum)) / float64(c)
+			v := int64(float64(lo) + frac*float64(hi-lo))
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.Max
+}
+
+// Buckets returns the non-empty buckets as (lo, hi, count) triples, in
+// increasing duration order.
+func (h *Histogram) Buckets() [][3]int64 {
+	var out [][3]int64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, [3]int64{lo, hi, c})
+	}
+	return out
+}
+
+// Registry is a concurrency-safe collection of named histograms — the
+// recording surface executors observe spans into (one histogram per task
+// class, keyed by class name).
+type Registry struct {
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{hists: make(map[string]*Histogram)} }
+
+// Observe records one span duration under the given class.
+func (r *Registry) Observe(class string, ns int64) {
+	r.mu.Lock()
+	h := r.hists[class]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[class] = h
+	}
+	h.Add(ns)
+	r.mu.Unlock()
+}
+
+// Histogram returns a copy of the named class's histogram (zero-valued
+// if the class was never observed).
+func (r *Registry) Histogram(class string) Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[class]; h != nil {
+		return *h
+	}
+	return Histogram{}
+}
+
+// Classes returns the observed class names, sorted.
+func (r *Registry) Classes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClassProfile is the exported summary of one task class's duration
+// distribution.
+type ClassProfile struct {
+	Class string `json:"class"`
+	Count int64  `json:"count"`
+	P50   int64  `json:"p50_ns"`
+	P95   int64  `json:"p95_ns"`
+	P99   int64  `json:"p99_ns"`
+	Max   int64  `json:"max_ns"`
+	Total int64  `json:"total_ns"`
+}
+
+// WorkerProfile is the idle-gap accounting for one trace row (one
+// worker thread on one node), over the trace's global [start, end] span.
+type WorkerProfile struct {
+	Node   int   `json:"node"`
+	Thread int   `json:"thread"`
+	Tasks  int   `json:"tasks"`
+	Busy   int64 `json:"busy_ns"`
+	Idle   int64 `json:"idle_ns"`
+	// StartupIdle is the gap between the global span start and this
+	// worker's first event — the per-worker form of Fig 11's bubble.
+	StartupIdle int64 `json:"startup_idle_ns"`
+	// LongestBubble is the longest single idle gap (startup, interior,
+	// or tail) and BubbleStart is when it opened.
+	LongestBubble int64 `json:"longest_bubble_ns"`
+	BubbleStart   int64 `json:"bubble_start_ns"`
+}
+
+// Name returns the row label, e.g. "n0/t3".
+func (w WorkerProfile) Name() string { return fmt.Sprintf("n%d/t%d", w.Node, w.Thread) }
+
+// IdleSummary aggregates the per-worker idle accounting.
+type IdleSummary struct {
+	TotalIdle int64 `json:"total_idle_ns"`
+	// MeanIdleFrac is mean over workers of idle/span.
+	MeanIdleFrac float64 `json:"mean_idle_frac"`
+	// MeanStartup is the mean startup idle over workers.
+	MeanStartup int64 `json:"mean_startup_ns"`
+	// MaxBubble locates the single longest idle gap on any worker.
+	MaxBubble      int64  `json:"max_bubble_ns"`
+	MaxBubbleAt    int64  `json:"max_bubble_at_ns"`
+	MaxBubbleOwner string `json:"max_bubble_owner"`
+}
+
+// CommStats is the communication-volume side of a profile. The GET/ACC
+// pair covers Global-Arrays one-sided traffic (the original code's
+// GET_HASH_BLOCK / ADD_HASH_BLOCK); ByClass covers dataflow payloads
+// delivered to each consumer task class by the PTG communication
+// threads; Transfers/TotalBytes total the inter-node deliveries.
+type CommStats struct {
+	GetOps     int64            `json:"get_ops,omitempty"`
+	GetBytes   int64            `json:"get_bytes,omitempty"`
+	AccOps     int64            `json:"acc_ops,omitempty"`
+	AccBytes   int64            `json:"acc_bytes,omitempty"`
+	Transfers  int64            `json:"transfers,omitempty"`
+	TotalBytes int64            `json:"total_bytes,omitempty"`
+	ByClass    map[string]int64 `json:"bytes_by_class,omitempty"`
+}
+
+// RampStat quantifies Fig 11's startup bubble for one class: the mean
+// and max, over workers, of the time until each worker's first event of
+// that class — absolute and as a fraction of the span. Until input
+// blocks arrive, workers have nothing of the class to compute, so with
+// class GEMM this is the paper's bubble in numbers (v2 vs v4).
+type RampStat struct {
+	Class    string  `json:"class"`
+	Mean     int64   `json:"mean_ns"`
+	Max      int64   `json:"max_ns"`
+	MeanFrac float64 `json:"mean_frac"`
+	MaxFrac  float64 `json:"max_frac"`
+}
+
+// PathShare is one task class's contribution to the critical path.
+type PathShare struct {
+	Class string  `json:"class"`
+	Tasks int     `json:"tasks"`
+	Time  int64   `json:"time_ns"`
+	Frac  float64 `json:"frac"`
+}
+
+// CritPath is the critical-path attribution of an executed DAG.
+type CritPath struct {
+	Length     int64       `json:"length_ns"`
+	TotalWork  int64       `json:"total_work_ns"`
+	MaxSpeedup float64     `json:"max_speedup"`
+	Tasks      int         `json:"tasks"`
+	Shares     []PathShare `json:"shares"`
+}
+
+// Profile is the complete observability record of one run.
+type Profile struct {
+	Name    string          `json:"name"`
+	Span    int64           `json:"span_ns"`
+	Tasks   int64           `json:"tasks"`
+	Classes []ClassProfile  `json:"classes"`
+	Workers []WorkerProfile `json:"workers"`
+	Idle    IdleSummary     `json:"idle"`
+	Ramp    *RampStat       `json:"ramp,omitempty"`
+	Comm    *CommStats      `json:"comm,omitempty"`
+	Crit    *CritPath       `json:"critical_path,omitempty"`
+}
+
+// FromTrace computes the histogram and idle-gap halves of a profile from
+// a recorded trace. Comm and critical-path attribution are attached
+// separately (SetComm, SetCritical) because they need executor state the
+// trace does not carry.
+func FromTrace(name string, t *trace.Trace) *Profile {
+	p := &Profile{Name: name}
+	evs := t.Events()
+	start, end := t.Span()
+	p.Span = end - start
+	p.Tasks = int64(len(evs))
+
+	reg := NewRegistry()
+	for _, e := range evs {
+		reg.Observe(e.Class, e.Duration())
+	}
+	for _, class := range reg.Classes() {
+		h := reg.Histogram(class)
+		p.Classes = append(p.Classes, ClassProfile{
+			Class: class,
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+			Total: h.Sum,
+		})
+	}
+
+	// Events() is sorted by (node, thread, start): walk each row once.
+	flush := func(w *WorkerProfile, lastEnd int64) {
+		if gap := end - lastEnd; gap > 0 {
+			w.Idle += gap
+			if gap > w.LongestBubble {
+				w.LongestBubble, w.BubbleStart = gap, lastEnd-start
+			}
+		}
+		p.Workers = append(p.Workers, *w)
+	}
+	var cur *WorkerProfile
+	var lastEnd int64
+	for i := range evs {
+		e := &evs[i]
+		if cur == nil || e.Node != cur.Node || e.Thread != cur.Thread {
+			if cur != nil {
+				flush(cur, lastEnd)
+			}
+			cur = &WorkerProfile{Node: e.Node, Thread: e.Thread}
+			lastEnd = start
+			cur.StartupIdle = e.Start - start
+		}
+		if gap := e.Start - lastEnd; gap > 0 {
+			cur.Idle += gap
+			if gap > cur.LongestBubble {
+				cur.LongestBubble, cur.BubbleStart = gap, lastEnd-start
+			}
+		}
+		cur.Tasks++
+		cur.Busy += e.Duration()
+		if e.End > lastEnd {
+			lastEnd = e.End
+		}
+	}
+	if cur != nil {
+		flush(cur, lastEnd)
+	}
+
+	if n := len(p.Workers); n > 0 && p.Span > 0 {
+		var fracSum float64
+		for _, w := range p.Workers {
+			p.Idle.TotalIdle += w.Idle
+			p.Idle.MeanStartup += w.StartupIdle
+			fracSum += float64(w.Idle) / float64(p.Span)
+			if w.LongestBubble > p.Idle.MaxBubble {
+				p.Idle.MaxBubble = w.LongestBubble
+				p.Idle.MaxBubbleAt = w.BubbleStart
+				p.Idle.MaxBubbleOwner = w.Name()
+			}
+		}
+		p.Idle.MeanIdleFrac = fracSum / float64(n)
+		p.Idle.MeanStartup /= int64(n)
+	}
+	return p
+}
+
+// SetComm attaches communication-volume counters.
+func (p *Profile) SetComm(c CommStats) { p.Comm = &c }
+
+// SetRamp attaches the time-to-first-event ramp for one class,
+// computed from the recorded trace (trace.RampStats).
+func (p *Profile) SetRamp(class string, tr *trace.Trace) {
+	mean, max := tr.RampStats(class)
+	r := &RampStat{Class: class, Mean: mean, Max: max}
+	if p.Span > 0 {
+		r.MeanFrac = float64(mean) / float64(p.Span)
+		r.MaxFrac = float64(max) / float64(p.Span)
+	}
+	p.Ramp = r
+}
+
+// SetCritical attaches critical-path attribution from a work/span
+// analysis of the executed DAG (ptg.Analyze replayed under measured or
+// modeled durations — Analysis.Path and Analysis.PathDur carry the
+// path's tasks and their charges).
+func (p *Profile) SetCritical(a ptg.Analysis) {
+	cp := &CritPath{
+		Length:     a.CriticalPath,
+		TotalWork:  a.TotalWork,
+		MaxSpeedup: a.MaxSpeedup,
+		Tasks:      len(a.Path),
+	}
+	byClass := map[string]*PathShare{}
+	for i, ref := range a.Path {
+		s := byClass[ref.Class]
+		if s == nil {
+			s = &PathShare{Class: ref.Class}
+			byClass[ref.Class] = s
+		}
+		s.Tasks++
+		if i < len(a.PathDur) {
+			s.Time += a.PathDur[i]
+		}
+	}
+	names := make([]string, 0, len(byClass))
+	for n := range byClass {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := *byClass[n]
+		if cp.Length > 0 {
+			s.Frac = float64(s.Time) / float64(cp.Length)
+		}
+		cp.Shares = append(cp.Shares, s)
+	}
+	// Largest contributor first.
+	sort.SliceStable(cp.Shares, func(i, j int) bool { return cp.Shares[i].Time > cp.Shares[j].Time })
+	p.Crit = cp
+}
+
+// WorstWorkers returns up to n workers ordered by longest bubble,
+// breaking ties by total idle — the rows worth printing when a machine
+// has hundreds of workers.
+func (p *Profile) WorstWorkers(n int) []WorkerProfile {
+	ws := append([]WorkerProfile(nil), p.Workers...)
+	sort.SliceStable(ws, func(i, j int) bool {
+		if ws[i].LongestBubble != ws[j].LongestBubble {
+			return ws[i].LongestBubble > ws[j].LongestBubble
+		}
+		return ws[i].Idle > ws[j].Idle
+	})
+	if len(ws) > n {
+		ws = ws[:n]
+	}
+	return ws
+}
+
+// Report converts the profile into its text-rendering form, keeping at
+// most maxWorkers per-worker idle rows (the worst ones). The aggregate
+// idle line always covers every worker.
+func (p *Profile) Report(maxWorkers int) *metrics.ProfileReport {
+	r := &metrics.ProfileReport{
+		Title: p.Name,
+		Span:  p.Span,
+		Tasks: int(p.Tasks),
+	}
+	for _, c := range p.Classes {
+		r.Hist = append(r.Hist, metrics.HistRow{
+			Class: c.Class, Count: c.Count,
+			P50: c.P50, P95: c.P95, P99: c.P99, Max: c.Max, Total: c.Total,
+		})
+	}
+	r.IdleWorkers = len(p.Workers)
+	r.TotalIdle = p.Idle.TotalIdle
+	r.MeanIdleFrac = p.Idle.MeanIdleFrac
+	r.MeanStartup = p.Idle.MeanStartup
+	r.MaxBubble = p.Idle.MaxBubble
+	r.MaxBubbleAt = p.Idle.MaxBubbleAt
+	r.MaxBubbleBy = p.Idle.MaxBubbleOwner
+	if p.Ramp != nil {
+		r.RampClass = p.Ramp.Class
+		r.RampMean = p.Ramp.Mean
+		r.RampMax = p.Ramp.Max
+		r.RampMeanFrac = p.Ramp.MeanFrac
+		r.RampMaxFrac = p.Ramp.MaxFrac
+	}
+	for _, w := range p.WorstWorkers(maxWorkers) {
+		r.Idle = append(r.Idle, metrics.IdleRow{
+			Worker: w.Name(), Tasks: w.Tasks, Busy: w.Busy, Idle: w.Idle,
+			StartupIdle: w.StartupIdle, LongestBubble: w.LongestBubble,
+			BubbleStart: w.BubbleStart,
+		})
+	}
+	if c := p.Comm; c != nil {
+		if c.GetOps > 0 || c.GetBytes > 0 {
+			r.Comm = append(r.Comm, metrics.CommRow{Label: "GET", Ops: c.GetOps, Bytes: c.GetBytes})
+		}
+		if c.AccOps > 0 || c.AccBytes > 0 {
+			r.Comm = append(r.Comm, metrics.CommRow{Label: "ACC", Ops: c.AccOps, Bytes: c.AccBytes})
+		}
+		if c.Transfers > 0 || c.TotalBytes > 0 {
+			r.Comm = append(r.Comm, metrics.CommRow{Label: "net total", Ops: c.Transfers, Bytes: c.TotalBytes})
+		}
+		classes := make([]string, 0, len(c.ByClass))
+		for n := range c.ByClass {
+			classes = append(classes, n)
+		}
+		sort.Strings(classes)
+		for _, n := range classes {
+			r.Comm = append(r.Comm, metrics.CommRow{Label: "net to " + n, Bytes: c.ByClass[n]})
+		}
+	}
+	if cp := p.Crit; cp != nil {
+		r.CritLength = cp.Length
+		r.TotalWork = cp.TotalWork
+		r.MaxSpeedup = cp.MaxSpeedup
+		for _, s := range cp.Shares {
+			r.Path = append(r.Path, metrics.PathRow{
+				Class: s.Class, Tasks: s.Tasks, Time: s.Time, Frac: s.Frac,
+			})
+		}
+	}
+	return r
+}
+
+// WriteJSON exports profiles as indented JSON, the regression-diffing
+// format of cmd/ccsim -profileout.
+func WriteJSON(w io.Writer, profiles []*Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(profiles)
+}

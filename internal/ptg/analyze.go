@@ -16,10 +16,15 @@ type Analysis struct {
 	CriticalPath int64 // longest duration-weighted path (ns)
 	// Path is one critical path, producer to final consumer.
 	Path []TaskRef
+	// PathDur holds the duration charged to each Path entry, so callers
+	// can attribute the critical path to task classes (see
+	// internal/obsv.Profile.SetCritical).
+	PathDur []int64
 	// MaxSpeedup is TotalWork / CriticalPath.
 	MaxSpeedup float64
 }
 
+// String summarizes the work/span analysis in one line.
 func (a Analysis) String() string {
 	return fmt.Sprintf("tasks=%d edges=%d work=%.3fs span=%.3fs max-speedup=%.1f",
 		a.Tasks, a.Edges, float64(a.TotalWork)/1e9, float64(a.CriticalPath)/1e9, a.MaxSpeedup)
@@ -38,9 +43,10 @@ func Analyze(g *Graph, dur func(*Instance) int64) (Analysis, error) {
 	a.Tasks = tr.NumInstances()
 
 	// dist[inst] = longest finish time over paths ending at inst;
-	// pred[inst] = predecessor on that path.
+	// pred[inst] = predecessor on that path; durs[inst] = charge.
 	dist := make(map[*Instance]int64, a.Tasks)
 	pred := make(map[*Instance]*Instance, a.Tasks)
+	durs := make(map[*Instance]int64, a.Tasks)
 
 	queue := append([]*Instance(nil), tr.InitialReady()...)
 	var last *Instance
@@ -54,6 +60,7 @@ func Analyze(g *Graph, dur func(*Instance) int64) (Analysis, error) {
 		if d < 0 {
 			d = 0
 		}
+		durs[in] = d
 		finish := dist[in] + d
 		dist[in] = finish
 		a.TotalWork += d
@@ -85,10 +92,12 @@ func Analyze(g *Graph, dur func(*Instance) int64) (Analysis, error) {
 	}
 	for in := last; in != nil; in = pred[in] {
 		a.Path = append(a.Path, in.Ref)
+		a.PathDur = append(a.PathDur, durs[in])
 	}
 	// Reverse to producer-first order.
 	for i, j := 0, len(a.Path)-1; i < j; i, j = i+1, j-1 {
 		a.Path[i], a.Path[j] = a.Path[j], a.Path[i]
+		a.PathDur[i], a.PathDur[j] = a.PathDur[j], a.PathDur[i]
 	}
 	if a.CriticalPath > 0 {
 		a.MaxSpeedup = float64(a.TotalWork) / float64(a.CriticalPath)

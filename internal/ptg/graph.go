@@ -53,6 +53,7 @@ const (
 	Write             // WRITE: no meaningful input data; produces output
 )
 
+// String renders the flow mode as its JDF keyword.
 func (m Mode) String() string {
 	switch m {
 	case Read:
@@ -70,6 +71,8 @@ type TaskRef struct {
 	Args  Args
 }
 
+// String renders the canonical task label, e.g. "GEMM(1,2,3)" — the
+// format traces and DAG replays key on.
 func (r TaskRef) String() string {
 	return fmt.Sprintf("%s(%d,%d,%d)", r.Class, r.Args[0], r.Args[1], r.Args[2])
 }

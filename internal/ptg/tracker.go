@@ -16,6 +16,7 @@ const (
 	StateDone                     // completed
 )
 
+// String names the lifecycle state.
 func (s InstState) String() string {
 	return [...]string{"waiting", "ready", "running", "done"}[s]
 }
@@ -50,6 +51,7 @@ type Instance struct {
 	pending   int
 }
 
+// String renders the instance with its affinity and state.
 func (in *Instance) String() string {
 	return fmt.Sprintf("%v@n%d[%v]", in.Ref, in.Node, in.State)
 }

@@ -1,0 +1,25 @@
+package runtime
+
+import (
+	"parsec/internal/trace"
+)
+
+// TraceObserver returns an Observer that records every completed task
+// into tr as a span on the given node, with the worker index as the
+// thread lane and the task's canonical reference string (e.g.
+// "GEMM(1,2,3)") as the label. That label convention matches
+// internal/simexec's traces, so the result feeds the same consumers:
+// trace rendering, internal/obsv profiles, and critical-path replay
+// keyed by TaskRef. Safe for concurrent use, like trace.Trace.Add.
+func TraceObserver(node int, tr *trace.Trace) func(Event) {
+	return func(e Event) {
+		tr.Add(trace.Event{
+			Node:   node,
+			Thread: e.Worker,
+			Class:  e.Task.Class,
+			Label:  e.Task.String(),
+			Start:  int64(e.Start),
+			End:    int64(e.End),
+		})
+	}
+}

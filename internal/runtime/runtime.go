@@ -43,6 +43,7 @@ const (
 	LIFOOrder
 )
 
+// String names the policy ("priority" or "lifo").
 func (p Policy) String() string {
 	if p == LIFOOrder {
 		return "lifo"
@@ -56,12 +57,15 @@ func (p Policy) String() string {
 // PaRSEC's per-thread queues correspond to PerWorkerSteal.
 type QueueMode int
 
+// The queue modes: one shared queue, pinned per-worker queues, and
+// pinned queues with randomized stealing.
 const (
 	SharedQueue QueueMode = iota
 	PerWorker
 	PerWorkerSteal
 )
 
+// String names the queue mode ("shared", "pinned", "pinned-steal").
 func (q QueueMode) String() string {
 	switch q {
 	case PerWorker:
@@ -110,6 +114,7 @@ type SchedStats struct {
 	MaxQueueDepth int
 }
 
+// String summarizes the counters in one line.
 func (s SchedStats) String() string {
 	return fmt.Sprintf("steals %d/%d, parks %d, wakes %d, max queue depth %d",
 		s.Steals, s.StealAttempts, s.Parks, s.Wakes, s.MaxQueueDepth)
@@ -125,6 +130,7 @@ type Report struct {
 	Sched    SchedStats
 }
 
+// String summarizes the run in one line.
 func (r Report) String() string {
 	return fmt.Sprintf("%d tasks on %d workers in %v (busy %v)", r.Tasks, r.Workers, r.Elapsed, r.BusyTime)
 }

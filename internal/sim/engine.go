@@ -46,6 +46,7 @@ func Duration(seconds float64) Time {
 	return Time(math.Round(seconds * float64(Second)))
 }
 
+// String renders the virtual time with a unit fitting its magnitude.
 func (t Time) String() string {
 	switch {
 	case t >= Second:

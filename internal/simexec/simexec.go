@@ -34,6 +34,8 @@ import (
 // Policy selects ready-task ordering, as in internal/runtime.
 type Policy int
 
+// The policies: priority order with creation-order ties, or LIFO
+// ignoring priorities (the v2 behavior of Fig 11).
 const (
 	PriorityOrder Policy = iota
 	LIFOOrder
@@ -94,7 +96,10 @@ type Config struct {
 	// Behaviors overrides execution per class name; classes without an
 	// entry charge their Cost function.
 	Behaviors map[string]Behavior
-	// Trace, if non-nil, receives one event per task execution.
+	// Trace, if non-nil, receives one event per task execution, plus
+	// per-node counter tracks (ready-queue depth, in-flight communication
+	// bytes) that the Chrome/Perfetto export renders alongside the Gantt
+	// rows.
 	Trace *trace.Trace
 	// Horizon aborts the simulation after this much virtual time
 	// (0 = unlimited).
@@ -110,8 +115,12 @@ type Result struct {
 	BytesSent int64
 	// Transfers is the number of inter-node deliveries.
 	Transfers int
+	// BytesByClass splits BytesSent by the consuming task's class — the
+	// communication-volume attribution of the profile report.
+	BytesByClass map[string]int64
 }
 
+// String summarizes the run in one line.
 func (r Result) String() string {
 	return fmt.Sprintf("makespan=%v tasks=%d transfers=%d (%.1f MB)",
 		r.Makespan, r.Tasks, r.Transfers, float64(r.BytesSent)/1e6)
@@ -133,7 +142,7 @@ func Run(g *ptg.Graph, m *cluster.Machine, gasim *ga.Sim, cfg Config) (Result, e
 		ga:    gasim,
 		cfg:   cfg,
 		nodes: make([]*nodeState, m.Cfg.Nodes),
-		res:   Result{ByClass: make(map[string]int)},
+		res:   Result{ByClass: make(map[string]int), BytesByClass: make(map[string]int64)},
 	}
 	for n := range ex.nodes {
 		ex.nodes[n] = &nodeState{
@@ -187,6 +196,10 @@ type nodeState struct {
 	workersIdle *sim.WaitQ
 	commQ       []transfer
 	commIdle    *sim.WaitQ
+	// ready and commBytes mirror the queue depth and in-flight transfer
+	// volume for the counter tracks.
+	ready     int
+	commBytes int64
 }
 
 type executor struct {
@@ -227,6 +240,16 @@ func (ex *executor) fail(err error) {
 	ex.m.Eng.Stop()
 }
 
+// sample records one counter-track sample when tracing is enabled.
+func (ex *executor) sample(name string, node int, v float64) {
+	if ex.cfg.Trace == nil {
+		return
+	}
+	ex.cfg.Trace.AddCounter(trace.Counter{
+		Name: name, Node: node, Ts: int64(ex.m.Eng.Now()), Value: v,
+	})
+}
+
 // enqueue adds a ready task to its node's queue and wakes a worker.
 func (ex *executor) enqueue(in *ptg.Instance) {
 	node := in.Node
@@ -235,6 +258,8 @@ func (ex *executor) enqueue(in *ptg.Instance) {
 		return
 	}
 	ns := ex.nodes[node]
+	ns.ready++
+	ex.sample("ready tasks", node, float64(ns.ready))
 	switch {
 	case ex.cfg.Queues != SharedQueue:
 		w := in.Seq % len(ns.perWorker)
@@ -256,6 +281,17 @@ func (ex *executor) enqueue(in *ptg.Instance) {
 // dequeueFor pops the next task for a specific worker, honoring the
 // queue mode (stealing from siblings when allowed).
 func (ex *executor) dequeueFor(node, wid int) *ptg.Instance {
+	in := ex.popFor(node, wid)
+	if in != nil {
+		ns := ex.nodes[node]
+		ns.ready--
+		ex.sample("ready tasks", node, float64(ns.ready))
+	}
+	return in
+}
+
+// popFor is dequeueFor without the counter bookkeeping.
+func (ex *executor) popFor(node, wid int) *ptg.Instance {
 	ns := ex.nodes[node]
 	if ex.cfg.Queues == SharedQueue {
 		return ex.dequeue(node)
@@ -376,6 +412,8 @@ func (ex *executor) complete(in *ptg.Instance) {
 		} else {
 			ns := ex.nodes[in.Node]
 			ns.commQ = append(ns.commQ, transfer{del: d, payload: pl})
+			ns.commBytes += pl.Bytes
+			ex.sample("comm bytes in flight", in.Node, float64(ns.commBytes))
 			ns.commIdle.WakeOne()
 		}
 	}
@@ -411,8 +449,11 @@ func (ex *executor) comm(p *sim.Proc, node int) {
 		t := ns.commQ[0]
 		ns.commQ = ns.commQ[:copy(ns.commQ, ns.commQ[1:])]
 		ex.m.Transfer(p, node, t.del.To.Node, t.payload.Bytes)
+		ns.commBytes -= t.payload.Bytes
+		ex.sample("comm bytes in flight", node, float64(ns.commBytes))
 		ex.res.BytesSent += t.payload.Bytes
 		ex.res.Transfers++
+		ex.res.BytesByClass[t.del.To.Ref.Class] += t.payload.Bytes
 		ex.deliver(t.del, t.payload)
 		if ex.err != nil {
 			return

@@ -333,3 +333,62 @@ func TestHorizonAborts(t *testing.T) {
 		t.Error("horizon-truncated run reported success")
 	}
 }
+
+func TestCounterTracksRecorded(t *testing.T) {
+	m, gs := testMachine(2, 2)
+	tr := trace.New()
+	if _, err := Run(pipelineGraph(10, 1e6), m, gs, Config{CoresPerNode: 2, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, c := range tr.Counters() {
+		names[c.Name]++
+		if c.Value < 0 {
+			t.Fatalf("negative counter sample: %+v", c)
+		}
+	}
+	if names["ready tasks"] == 0 {
+		t.Error("no ready-tasks samples recorded")
+	}
+	if names["comm bytes in flight"] == 0 {
+		t.Error("no comm-bytes samples recorded")
+	}
+	// Every queue push pairs with a pop: the ready-tasks track must have
+	// an even number of samples and end at zero on each node.
+	last := map[int]float64{}
+	for _, c := range tr.Counters() {
+		if c.Name == "ready tasks" {
+			last[c.Node] = c.Value
+		}
+	}
+	for node, v := range last {
+		if v != 0 {
+			t.Errorf("node %d ready-tasks track ends at %g, want 0", node, v)
+		}
+	}
+}
+
+func TestBytesByClassSumsToBytesSent(t *testing.T) {
+	m, gs := testMachine(2, 2)
+	res, err := Run(pipelineGraph(10, 1e6), m, gs, Config{CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, b := range res.BytesByClass {
+		sum += b
+	}
+	if sum != res.BytesSent {
+		t.Errorf("BytesByClass sums to %d, BytesSent = %d", sum, res.BytesSent)
+	}
+	if res.BytesByClass["DST"] != res.BytesSent {
+		t.Errorf("all transfers target DST, got %v", res.BytesByClass)
+	}
+}
+
+func TestNoCountersWithoutTrace(t *testing.T) {
+	m, gs := testMachine(2, 2)
+	if _, err := Run(pipelineGraph(4, 1e6), m, gs, Config{CoresPerNode: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -149,6 +149,7 @@ func (w *Workload) Stats() Stats {
 	return s
 }
 
+// String summarizes the workload's shape in one line.
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chains=%d gemms=%d sorts=%d flops=%.3g", s.Chains, s.Gemms, s.Sorts, float64(s.TotalFlops))

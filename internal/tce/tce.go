@@ -40,6 +40,7 @@ func (b BlockRef) Elems() int {
 // Bytes returns the storage size of the block in bytes.
 func (b BlockRef) Bytes() int64 { return int64(b.Elems()) * 8 }
 
+// String renders the block as tensor name plus key.
 func (b BlockRef) String() string {
 	return fmt.Sprintf("%s%v", b.Tensor, b.Key)
 }
@@ -49,6 +50,7 @@ func (b BlockRef) String() string {
 // inspection phase records them (§III-B).
 type IterVec struct{ P3, P4, H1, H2, H7, P5 int }
 
+// String lists the induction-variable values.
 func (v IterVec) String() string {
 	return fmt.Sprintf("[p3=%d p4=%d h1=%d h2=%d h7=%d p5=%d]", v.P3, v.P4, v.H1, v.H2, v.H7, v.P5)
 }

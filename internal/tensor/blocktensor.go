@@ -10,6 +10,7 @@ import (
 // four block (tile) indices.
 type BlockKey [4]int
 
+// String renders the key as "(i,j,k,l)".
 func (k BlockKey) String() string {
 	return fmt.Sprintf("(%d,%d,%d,%d)", k[0], k[1], k[2], k[3])
 }

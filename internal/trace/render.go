@@ -221,15 +221,21 @@ func (t *Trace) WriteSVG(w io.Writer, width int) error {
 // WriteChromeTrace emits the trace in the Chrome trace-event JSON format
 // (chrome://tracing, Perfetto): one complete event per task, with the
 // node as the process id and the thread as the thread id, so the paper's
-// Gantt layout appears natively in the viewer.
+// Gantt layout appears natively in the viewer. Counter samples recorded
+// with AddCounter become Perfetto counter tracks (one per counter name
+// per node), and a "busy workers" track is derived per node from the
+// events themselves, so every export quantifies the idle bubbles the
+// Gantt rows only show.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	if _, err := fmt.Fprint(w, "[\n"); err != nil {
 		return err
 	}
 	evs := t.Events()
+	counters := append([]Counter(nil), t.Counters()...)
+	counters = append(counters, t.busyCounters()...)
 	for i, e := range evs {
 		sep := ","
-		if i == len(evs)-1 {
+		if i == len(evs)-1 && len(counters) == 0 {
 			sep = ""
 		}
 		// Timestamps and durations are microseconds in the trace format.
@@ -239,6 +245,57 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
+	for i, c := range counters {
+		sep := ","
+		if i == len(counters)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w,
+			`  {"name": %q, "ph": "C", "ts": %.3f, "pid": %d, "args": {"value": %g}}%s`+"\n",
+			c.Name, float64(c.Ts)/1e3, c.Node, c.Value, sep); err != nil {
+			return err
+		}
+	}
 	_, err := fmt.Fprint(w, "]\n")
 	return err
+}
+
+// busyCounters derives per-node "busy workers" counter samples from the
+// recorded events: +1 at each task start, -1 at each end, sampled at
+// every change point.
+func (t *Trace) busyCounters() []Counter {
+	type edge struct {
+		ts    int64
+		delta int
+	}
+	byNode := map[int][]edge{}
+	for _, e := range t.Events() {
+		byNode[e.Node] = append(byNode[e.Node], edge{e.Start, +1}, edge{e.End, -1})
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	var out []Counter
+	for _, n := range nodes {
+		es := byNode[n]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].ts != es[j].ts {
+				return es[i].ts < es[j].ts
+			}
+			// Ends before starts at the same instant, so zero-duration
+			// events never leave the count negative.
+			return es[i].delta < es[j].delta
+		})
+		busy := 0
+		for i, e := range es {
+			busy += e.delta
+			if i+1 < len(es) && es[i+1].ts == e.ts {
+				continue // sample only the final value at each instant
+			}
+			out = append(out, Counter{Name: "busy workers", Node: n, Ts: e.ts, Value: float64(busy)})
+		}
+	}
+	return out
 }

@@ -26,11 +26,23 @@ type Event struct {
 // Duration returns End - Start.
 func (e Event) Duration() int64 { return e.End - e.Start }
 
+// Counter is one sample of a scalar counter track — the Perfetto-style
+// instantaneous state the paper's Gantt charts only imply: ready-queue
+// depth, in-flight communication bytes, and similar. Samples with the
+// same (Name, Node) form one track.
+type Counter struct {
+	Name  string
+	Node  int
+	Ts    int64 // nanoseconds since execution start
+	Value float64
+}
+
 // Trace is a concurrent-safe collector of events.
 type Trace struct {
-	mu     sync.Mutex
-	events []Event
-	sorted bool
+	mu       sync.Mutex
+	events   []Event
+	counters []Counter
+	sorted   bool
 }
 
 // New returns an empty trace.
@@ -42,6 +54,31 @@ func (t *Trace) Add(ev Event) {
 	t.events = append(t.events, ev)
 	t.sorted = false
 	t.mu.Unlock()
+}
+
+// AddCounter records a counter sample. Safe for concurrent use.
+func (t *Trace) AddCounter(c Counter) {
+	t.mu.Lock()
+	t.counters = append(t.counters, c)
+	t.mu.Unlock()
+}
+
+// Counters returns the counter samples sorted by (name, node, ts). The
+// returned slice is owned by the trace; callers must not mutate it.
+func (t *Trace) Counters() []Counter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sort.SliceStable(t.counters, func(i, j int) bool {
+		a, b := t.counters[i], t.counters[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Ts < b.Ts
+	})
+	return t.counters
 }
 
 // Len returns the number of events.
@@ -197,6 +234,7 @@ func (t *Trace) Summarize() Summary {
 	return s
 }
 
+// String renders the summary with one line per class.
 func (s Summary) String() string {
 	out := fmt.Sprintf("span=%.3fs threads=%d idle=%.1f%% startup-idle=%.1f%%\n",
 		float64(s.Span)/1e9, s.Threads, 100*s.IdleFraction, 100*s.StartupIdleFrac)
@@ -224,6 +262,11 @@ func (t *Trace) Window(from, to int64) *Trace {
 			c.End = to
 		}
 		out.Add(c)
+	}
+	for _, c := range t.Counters() {
+		if c.Ts >= from && c.Ts < to {
+			out.AddCounter(c)
+		}
 	}
 	return out
 }

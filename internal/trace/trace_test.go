@@ -261,10 +261,158 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(events) != 4 {
+	var tasks, counters []map[string]any
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			tasks = append(tasks, e)
+		case "C":
+			counters = append(counters, e)
+		}
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("task events = %d", len(tasks))
+	}
+	if tasks[0]["ph"] != "X" || tasks[0]["cat"] != "READA" {
+		t.Errorf("first event: %v", tasks[0])
+	}
+	// The derived "busy workers" track must be present for both nodes.
+	if len(counters) == 0 {
+		t.Fatal("no counter samples in export")
+	}
+	nodes := map[float64]bool{}
+	for _, c := range counters {
+		if c["name"] != "busy workers" {
+			t.Fatalf("unexpected counter %v", c["name"])
+		}
+		nodes[c["pid"].(float64)] = true
+	}
+	if !nodes[0] || !nodes[1] {
+		t.Errorf("busy-workers tracks missing a node: %v", nodes)
+	}
+}
+
+func TestWriteChromeTraceCounters(t *testing.T) {
+	tr := sampleTrace()
+	tr.AddCounter(Counter{Name: "ready tasks", Node: 0, Ts: 50, Value: 3})
+	tr.AddCounter(Counter{Name: "ready tasks", Node: 0, Ts: 150, Value: 1})
+	tr.AddCounter(Counter{Name: "comm bytes in flight", Node: 1, Ts: 75, Value: 4096})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, e := range events {
+		if e["ph"] == "C" {
+			byName[e["name"].(string)]++
+		}
+	}
+	if byName["ready tasks"] != 2 || byName["comm bytes in flight"] != 1 {
+		t.Fatalf("counter samples = %v", byName)
+	}
+}
+
+func TestCountersSortedAndWindowed(t *testing.T) {
+	tr := New()
+	tr.AddCounter(Counter{Name: "b", Node: 0, Ts: 20, Value: 1})
+	tr.AddCounter(Counter{Name: "a", Node: 1, Ts: 10, Value: 2})
+	tr.AddCounter(Counter{Name: "a", Node: 0, Ts: 30, Value: 3})
+	cs := tr.Counters()
+	if cs[0].Name != "a" || cs[0].Node != 0 || cs[1].Node != 1 || cs[2].Name != "b" {
+		t.Fatalf("counters not sorted: %+v", cs)
+	}
+	tr.Add(Event{Node: 0, Thread: 0, Class: "X", Start: 0, End: 100})
+	win := tr.Window(15, 25)
+	if got := win.Counters(); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("windowed counters = %+v", got)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty export invalid JSON: %v", err)
+	}
+	if len(events) != 0 {
 		t.Fatalf("events = %d", len(events))
 	}
-	if events[0]["ph"] != "X" || events[0]["cat"] != "READA" {
-		t.Errorf("first event: %v", events[0])
+}
+
+func TestEmptyTraceRenders(t *testing.T) {
+	tr := New()
+	var buf bytes.Buffer
+	if err := tr.ASCIIGantt(&buf, 80); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Errorf("empty Gantt output: %q", buf.String())
+	}
+	buf.Reset()
+	if err := tr.WriteSVG(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("empty SVG missing root element")
+	}
+	s := tr.Summarize()
+	if s.Span != 0 || s.Threads != 0 || s.IdleFraction != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSingleEventTrace(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: 0, Thread: 0, Class: "GEMM", Label: "GEMM(0,0)", Start: 10, End: 20})
+	s := tr.Summarize()
+	if s.Span != 10 || s.Threads != 1 || s.TotalBusy != 10 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.IdleFraction != 0 {
+		t.Errorf("idle = %g, want 0", s.IdleFraction)
+	}
+	var buf bytes.Buffer
+	if err := tr.ASCIIGantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "G") {
+		t.Error("single event missing from Gantt")
+	}
+}
+
+func TestZeroDurationSpans(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: 0, Thread: 0, Class: "NXTVAL", Label: "NXTVAL(0)", Start: 50, End: 50})
+	tr.Add(Event{Node: 0, Thread: 0, Class: "GEMM", Label: "GEMM(0,0)", Start: 50, End: 150})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("zero-duration event rejected: %v", err)
+	}
+	s := tr.Summarize()
+	if s.TotalBusy != 100 {
+		t.Errorf("busy = %d", s.TotalBusy)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// The derived busy-workers track must never dip negative around the
+	// zero-duration event.
+	for _, e := range events {
+		if e["ph"] == "C" {
+			if v := e["args"].(map[string]any)["value"].(float64); v < 0 {
+				t.Fatalf("busy workers went negative: %v", e)
+			}
+		}
 	}
 }

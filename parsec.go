@@ -84,9 +84,13 @@ const (
 // NewGraph returns an empty graph.
 func NewGraph(name string) *Graph { return ptg.NewGraph(name) }
 
-// A1, A2, A3 build 1-, 2-, and 3-parameter argument vectors.
-func A1(a int) Args       { return ptg.A1(a) }
-func A2(a, b int) Args    { return ptg.A2(a, b) }
+// A1 builds a 1-parameter argument vector.
+func A1(a int) Args { return ptg.A1(a) }
+
+// A2 builds a 2-parameter argument vector.
+func A2(a, b int) Args { return ptg.A2(a, b) }
+
+// A3 builds a 3-parameter argument vector.
 func A3(a, b, c int) Args { return ptg.A3(a, b, c) }
 
 // JDFEnv supplies the named constants, helper functions, bodies, and
@@ -119,6 +123,7 @@ const (
 // §IV-D).
 type QueueMode = runtime.QueueMode
 
+// The ready-queue structures a RunConfig can select (see QueueMode).
 const (
 	SharedQueue    = runtime.SharedQueue
 	PerWorker      = runtime.PerWorker
