@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench lint fig9 traces profile examples clean
+.PHONY: all build vet test race bench lint fig9 traces profile faults examples clean
 
 all: build vet test lint
 
@@ -39,6 +39,10 @@ traces:
 # Observability profiles (histograms, idle bubbles, critical path).
 profile:
 	$(GO) run ./cmd/ccsim -profile -profileout profile.json
+
+# Seeded fault-injection sweep; regenerates docs/faults.json.
+faults:
+	$(GO) run ./cmd/ccsim -faults
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -14,6 +14,12 @@
 // with real arithmetic on the goroutine runtime across every ready-queue
 // mode and the -schedworkers counts, printing the scheduler counters
 // (steals, parks, wakes, queue depth, load imbalance) instead of Fig 9.
+//
+// -faults switches to the seeded fault-injection sweep: each series runs
+// fault-free and under stragglers, transfer loss, and GA-service
+// hiccups, printing recovery counters and slowdown attribution, checking
+// the re-dispatch recovery criterion and the perturbed real-runtime
+// energies, and writing docs/faults.json.
 package main
 
 import (
@@ -52,7 +58,25 @@ func main() {
 	profileCores := flag.Int("profilecores", 7, "cores/node for the simulated -profile runs")
 	profileWorkers := flag.Int("profileworkers", 4, "worker goroutines for the real -profile run")
 	profileReal := flag.String("profilereal", "benzene", "molecule preset for the real-runtime -profile run (kept small: real arithmetic at paper scale needs tens of GB and ~an hour per core)")
+	faults := flag.Bool("faults", false, "run the seeded fault-injection sweep (stragglers, transfer loss, GA hiccups) across original/v2/v4 and check the recovery criterion")
+	faultsOut := flag.String("faultsout", "", "write the -faults results as JSON to this file (default docs/faults.json, or no file under -quick)")
+	faultCores := flag.Int("faultcores", 7, "cores/node for the -faults runs")
 	flag.Parse()
+
+	// Validate the enumerated flags up front so a typo fails with the
+	// accepted values listed instead of deep inside a run.
+	if err := validatePreset("preset", *preset); err != nil {
+		fatal(err)
+	}
+	if err := validatePreset("profilereal", *profileReal); err != nil {
+		fatal(err)
+	}
+	if err := validateSweep(*sweep); err != nil {
+		fatal(err)
+	}
+	if err := validateVariants(*variants); err != nil {
+		fatal(err)
+	}
 
 	if *kernels {
 		if err := runKernels(*kernelsOut, *verbose); err != nil {
@@ -63,12 +87,25 @@ func main() {
 
 	if *quick {
 		*preset = "benzene"
+		if *faults {
+			// benzene at 8 nodes leaves the 7-core workers underfed: a
+			// straggler barely queues anything, so re-dispatch has nothing
+			// to recover and the criterion is meaningless. uracil keeps the
+			// smoke run subsecond with a real backlog.
+			*preset = "uracil"
+		}
 		*nodes = 8
 	}
 	if (*sched || *profile) && !flagWasSet("preset") && !*quick {
 		// Real arithmetic at beta-carotene scale takes minutes per cell;
 		// the sweeps that execute for real default to the small system.
 		*preset = "water"
+	}
+	if *faults && !flagWasSet("variants") {
+		// The fault sweep contrasts the NXTVAL baseline with the
+		// no-priority and priority PTG executors, as the recovery layer's
+		// Fig 9 companions.
+		*variants = "original,v2,v4"
 	}
 	if *profile && !flagWasSet("variants") {
 		// v2 vs v4 is the paper's Fig 11 comparison: identical graphs, with
@@ -86,6 +123,19 @@ func main() {
 		fatal(err)
 	}
 	names := strings.Split(*variants, ",")
+
+	if *faults {
+		out := *faultsOut
+		if out == "" && !flagWasSet("faultsout") && !*quick {
+			out = "docs/faults.json"
+		}
+		mcfg := cluster.CascadeLike()
+		mcfg.Nodes = *nodes
+		if err := runFaults(sys, mcfg, names, *faultCores, out, *quick, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *profile {
 		mcfg := cluster.CascadeLike()
@@ -249,6 +299,63 @@ with real parallelism, approaching W when one worker monopolizes the run
 	return tbl.WriteTable(os.Stdout)
 }
 
+// sweepNames lists the ablation sweeps runSweep implements.
+var sweepNames = []string{"gaservice", "nic", "contention", "stride", "segheight"}
+
+// validatePreset rejects unknown molecule presets with the accepted
+// names listed, so a typo fails before any workload is built.
+func validatePreset(flagName, name string) error {
+	for _, n := range molecule.PresetNames() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -%s %q (accepted: %s)", flagName, name, strings.Join(molecule.PresetNames(), ", "))
+}
+
+// validateSweep rejects unknown ablation names (empty means no sweep).
+func validateSweep(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range sweepNames {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -sweep %q (accepted: %s)", name, strings.Join(sweepNames, ", "))
+}
+
+// variantNames lists the accepted -variants entries: the CGP baseline
+// plus every PTG variant.
+func variantNames() []string {
+	names := []string{"original"}
+	for _, v := range ccsd.Variants() {
+		names = append(names, v.Name)
+	}
+	return names
+}
+
+// validateVariants rejects malformed or unknown -variants lists.
+func validateVariants(csv string) error {
+	accepted := variantNames()
+	ok := func(name string) bool {
+		for _, n := range accepted {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, part := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" || !ok(name) {
+			return fmt.Errorf("bad -variants entry %q in %q (accepted: %s)", name, csv, strings.Join(accepted, ", "))
+		}
+	}
+	return nil
+}
+
 // flagWasSet reports whether the named flag was given on the command line.
 func flagWasSet(name string) bool {
 	set := false
@@ -327,7 +434,7 @@ func runSweep(sys *molecule.System, base cluster.Config, name string, cores int,
 			mk(label, func(_ *cluster.Config, rc *ccsd.SimRunConfig) { rc.SegmentHeight = h })
 		}
 	default:
-		return fmt.Errorf("unknown sweep %q", name)
+		return fmt.Errorf("unknown sweep %q (accepted: %s)", name, strings.Join(sweepNames, ", "))
 	}
 
 	fmt.Printf("ablation sweep %q on %s, %d nodes x %d cores/node (simulated seconds)\n\n", name, sys.Name, base.Nodes, cores)

@@ -543,7 +543,7 @@ func (b *builder) buildWrite() {
 				lo, hi := seg*n/span, (seg+1)*n/span
 				for fi, in := range ctx.In {
 					if t, ok := in.(*tensor.Tile4); ok {
-						store.AccOrdered(tce.TensorC, p.meta.Out.Key, t, 1, ctx.Seq*len(ctx.In)+fi, lo, hi)
+						ctx.Fail(store.AccOrdered(tce.TensorC, p.meta.Out.Key, t, 1, ctx.Seq*len(ctx.In)+fi, lo, hi))
 					}
 				}
 			}
@@ -552,7 +552,7 @@ func (b *builder) buildWrite() {
 				key := b.ps[ctx.Args[0]].meta.Out.Key
 				for fi, in := range ctx.In {
 					if t, ok := in.(*tensor.Tile4); ok {
-						store.AccOrdered(tce.TensorC, key, t, 1, ctx.Seq*len(ctx.In)+fi, 0, t.Len())
+						ctx.Fail(store.AccOrdered(tce.TensorC, key, t, 1, ctx.Seq*len(ctx.In)+fi, 0, t.Len()))
 					}
 				}
 			}

@@ -1,7 +1,10 @@
 package ccsd
 
 import (
+	"time"
+
 	"parsec/internal/ga"
+	"parsec/internal/ptg"
 	"parsec/internal/runtime"
 	"parsec/internal/tce"
 	"parsec/internal/trace"
@@ -28,6 +31,15 @@ func RunRealQueued(w *tce.Workload, spec VariantSpec, workers int, queue runtime
 	return runRealWithOptions(w, spec, workers, 0, queue)
 }
 
+// RunRealPerturbed is RunRealQueued with a per-task delay hook — the
+// real-runtime analogue of a simulated straggler. The returned energy
+// must still match the serial reference bit-for-bit at the 1e-12 level:
+// fault recovery may reshuffle who computes what, never what is
+// computed.
+func RunRealPerturbed(w *tce.Workload, spec VariantSpec, workers int, queue runtime.QueueMode, delay func(worker int, ref ptg.TaskRef) time.Duration) (RealResult, error) {
+	return runRealDelayed(w, spec, workers, 0, queue, nil, delay)
+}
+
 // runRealWithOptions additionally overrides the GEMM segment height
 // (<= 0 keeps the variant default), for the §IV-A locality/parallelism
 // ablation.
@@ -39,6 +51,12 @@ func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight in
 // when tr is non-nil every completed task is recorded through
 // runtime.TraceObserver.
 func runRealTraced(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode, tr *trace.Trace) (RealResult, error) {
+	return runRealDelayed(w, spec, workers, segHeight, queue, tr, nil)
+}
+
+// runRealDelayed is the full-option form behind every real-execution
+// entry point, adding the fault-injection task-delay hook.
+func runRealDelayed(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode, tr *trace.Trace, delay func(int, ptg.TaskRef) time.Duration) (RealResult, error) {
 	store := ga.NewStore(1)
 	aName, bName := w.InputTensors()
 	a := store.Create(aName)
@@ -56,7 +74,7 @@ func runRealTraced(w *tce.Workload, spec VariantSpec, workers, segHeight int, qu
 	if !spec.UsePriorities {
 		policy = runtime.LIFOOrder
 	}
-	rcfg := runtime.Config{Workers: workers, Policy: policy, Queues: queue}
+	rcfg := runtime.Config{Workers: workers, Policy: policy, Queues: queue, TaskDelay: delay}
 	if tr != nil {
 		rcfg.Observer = runtime.TraceObserver(0, tr)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"parsec/internal/cgp"
 	"parsec/internal/cluster"
+	"parsec/internal/fault"
 	"parsec/internal/ga"
 	"parsec/internal/molecule"
 	"parsec/internal/sim"
@@ -70,6 +71,17 @@ type SimRunConfig struct {
 	Queues simexec.QueueMode
 	// WriteSpan > 1 splits output blocks across adjacent nodes (Fig 8).
 	WriteSpan int
+	// Faults, if non-nil, perturbs the run: the machine consults it for
+	// straggler slowdowns and the executor for transfer and GA-service
+	// faults. The caller keeps the handle to read the attribution ledger
+	// afterwards.
+	Faults *fault.Injector
+	// InterNodeSteal enables the straggler-recovery re-dispatch path
+	// (requires Queues == PerWorkerSteal).
+	InterNodeSteal bool
+	// Retry overrides the comm thread's loss-recovery policy (zero value
+	// selects simexec.DefaultRetryPolicy).
+	Retry simexec.RetryPolicy
 }
 
 // RunSim executes one variant on a fresh simulated machine built from the
@@ -90,6 +102,7 @@ func runSimGA(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc Si
 	}
 	eng := sim.NewEngine()
 	m := cluster.New(eng, mcfg)
+	m.SetFaults(rc.Faults)
 	gs := ga.NewSim(m)
 	k, err := tce.KernelByName(rc.Kernel, sys)
 	if err != nil {
@@ -105,12 +118,14 @@ func runSimGA(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc Si
 		policy = simexec.LIFOOrder
 	}
 	res, err := simexec.Run(g, m, gs, simexec.Config{
-		CoresPerNode: rc.CoresPerNode,
-		Policy:       policy,
-		Queues:       rc.Queues,
-		Behaviors:    simBehaviorsSpan(w, spec, ps, rc.WriteSpan),
-		Trace:        rc.Trace,
-		Horizon:      rc.Horizon,
+		CoresPerNode:   rc.CoresPerNode,
+		Policy:         policy,
+		Queues:         rc.Queues,
+		Behaviors:      simBehaviorsSpan(w, spec, ps, rc.WriteSpan),
+		Trace:          rc.Trace,
+		Horizon:        rc.Horizon,
+		Retry:          rc.Retry,
+		InterNodeSteal: rc.InterNodeSteal,
 	})
 	return res, gs, err
 }
@@ -123,8 +138,18 @@ func RunSimBaseline(sys *molecule.System, mcfg cluster.Config, ranksPerNode int,
 
 // RunSimBaselineKernel is RunSimBaseline with an explicit kernel choice.
 func RunSimBaselineKernel(sys *molecule.System, kernel string, mcfg cluster.Config, ranksPerNode int, tr *trace.Trace) (sim.Time, error) {
+	return RunSimBaselineFaults(sys, kernel, mcfg, ranksPerNode, tr, nil)
+}
+
+// RunSimBaselineFaults is RunSimBaselineKernel under a fault injector.
+// The CGP baseline has no comm threads — its GETs and ACCs are
+// one-sided — so only stragglers and GA-service hiccups apply; its
+// NXTVAL work distribution then rebalances around them on its own,
+// which is the natural contrast to the PTG executors' re-dispatch.
+func RunSimBaselineFaults(sys *molecule.System, kernel string, mcfg cluster.Config, ranksPerNode int, tr *trace.Trace, inj *fault.Injector) (sim.Time, error) {
 	eng := sim.NewEngine()
 	m := cluster.New(eng, mcfg)
+	m.SetFaults(inj)
 	gs := ga.NewSim(m)
 	k, err := tce.KernelByName(kernel, sys)
 	if err != nil {

@@ -15,6 +15,7 @@ package cluster
 import (
 	"fmt"
 
+	"parsec/internal/fault"
 	"parsec/internal/sim"
 )
 
@@ -157,6 +158,10 @@ type Machine struct {
 	Eng   *sim.Engine
 	Nodes []*Node
 	rng   *sim.RNG
+	// faults, when non-nil, perturbs the machine: straggler nodes run
+	// compute/GEMM/memory charges slower, and the executor layers draw
+	// transfer and GA-service faults from it. Nil means fault-free.
+	faults *fault.Injector
 }
 
 // New builds a machine from the configuration. It panics on an invalid
@@ -198,6 +203,16 @@ func newGASrv(eng *sim.Engine, i int, cfg Config) *sim.PS {
 // TotalCores returns Nodes * CoresPerNode.
 func (m *Machine) TotalCores() int { return m.Cfg.Nodes * m.Cfg.CoresPerNode }
 
+// SetFaults installs a fault injector on the machine. Pass nil to
+// restore fault-free behavior. Executors built on this machine consult
+// the same injector for transfer and GA-service faults, so one seeded
+// schedule perturbs every layer coherently.
+func (m *Machine) SetFaults(inj *fault.Injector) { m.faults = inj }
+
+// Faults returns the installed injector (nil when fault-free). A nil
+// injector is safe to call, so callers need not check.
+func (m *Machine) Faults() *fault.Injector { return m.faults }
+
 func (m *Machine) jitter(d sim.Time) sim.Time {
 	return m.rng.Jitter(d, m.Cfg.JitterFrac)
 }
@@ -213,7 +228,7 @@ func (m *Machine) ComputeTime(flops int64) sim.Time {
 // the traffic as cache-resident (locality discount).
 func (m *Machine) Compute(p *sim.Proc, node int, flops, memBytes int64, warm bool) {
 	if flops > 0 {
-		p.Hold(m.jitter(m.ComputeTime(flops)))
+		p.Hold(m.faults.ScaleCompute(node, m.jitter(m.ComputeTime(flops))))
 	}
 	m.MemOp(p, node, memBytes, warm)
 }
@@ -227,6 +242,12 @@ func (m *Machine) MemOp(p *sim.Proc, node int, bytes int64, warm bool) {
 	amount := float64(bytes)
 	if warm {
 		amount *= m.Cfg.CacheWarm
+	}
+	if scaled := m.faults.ScaleAmount(node, amount); scaled != amount {
+		// Record the un-contended excess; contention can stretch it more,
+		// so the attribution ledger stays conservative.
+		m.faults.NoteExcess(node, sim.Duration((scaled-amount)/m.Cfg.MemBWBytes))
+		amount = scaled
 	}
 	m.Nodes[node].MemBW.Use(p, amount)
 }
@@ -254,8 +275,12 @@ func (m *Machine) Transfer(p *sim.Proc, reqNode, otherNode int, bytes int64) {
 // GemmMemTraffic — through the node's shared memory bandwidth.
 func (m *Machine) Gemm(p *sim.Proc, node int, flops, footprintBytes int64) {
 	if flops > 0 {
-		jf := m.jitter(sim.Time(flops))
-		m.Nodes[node].GemmPS.Use(p, float64(jf))
+		jf := float64(m.jitter(sim.Time(flops)))
+		if scaled := m.faults.ScaleAmount(node, jf); scaled != jf {
+			m.faults.NoteExcess(node, sim.Duration((scaled-jf)/(m.Cfg.CoreGFlops*1e9)))
+			jf = scaled
+		}
+		m.Nodes[node].GemmPS.Use(p, jf)
 	}
 	if footprintBytes > 0 {
 		m.Nodes[node].MemBW.Use(p, m.Cfg.GemmMemTraffic*float64(footprintBytes))

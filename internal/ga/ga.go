@@ -117,18 +117,21 @@ func (s *Store) Access(name string, key tensor.BlockKey) *tensor.Tile4 {
 }
 
 // AddHashBlock atomically accumulates scale*src into a block, creating it
-// zeroed if absent — ADD_HASH_BLOCK's Corig += Csorted.
-func (s *Store) AddHashBlock(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64) {
-	s.Array(name).Acc(key, src, scale)
+// zeroed if absent — ADD_HASH_BLOCK's Corig += Csorted. A dimension
+// mismatch with an existing block is reported as an error (task bodies
+// reach this surface, and under injected faults a panic here would tear
+// down the whole runtime instead of failing one task).
+func (s *Store) AddHashBlock(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64) error {
+	return s.Array(name).AccChecked(key, src, scale)
 }
 
 // AccRange atomically accumulates scale*src[lo:hi] into the element range
 // [lo, hi) of a block: the per-segment update a WRITE_C instance performs
 // when the block spans several nodes (Fig 8) and each instance owns one
-// contiguous slice.
-func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, lo, hi int) {
+// contiguous slice. Out-of-range segments are reported as errors.
+func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, lo, hi int) error {
 	if lo < 0 || hi > src.Len() || lo > hi {
-		panic(fmt.Sprintf("ga: AccRange [%d,%d) of %d elements", lo, hi, src.Len()))
+		return fmt.Errorf("ga: AccRange [%d,%d) of %d elements", lo, hi, src.Len())
 	}
 	bt := s.Array(name)
 	dst := bt.GetOrCreate(key, src.Dim)
@@ -137,6 +140,7 @@ func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, sc
 		dst.Data[i] += scale * src.Data[i]
 	}
 	s.rangeMu.Unlock()
+	return nil
 }
 
 // AccOrdered buffers an ADD_HASH_BLOCK-style accumulation of
@@ -148,9 +152,16 @@ func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, sc
 // scheduling policy — the "ordered reduce" invariance of DESIGN §6,
 // which a sharded scheduler can no longer get for free from lock
 // serialization. The caller must not mutate src afterwards.
-func (s *Store) AccOrdered(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, tag, lo, hi int) {
+//
+// Out-of-range segments are reported as errors rather than panics —
+// this surface is reached from task bodies, and under fault injection a
+// retried task must be able to fail cleanly. An exact duplicate of an
+// already-buffered contribution (same tag, segment, scale, and source
+// tile) is the signature of an at-least-once retransmission; it is
+// suppressed at fold time, so a retried ACC never double-counts.
+func (s *Store) AccOrdered(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, tag, lo, hi int) error {
 	if lo < 0 || hi > src.Len() || lo > hi {
-		panic(fmt.Sprintf("ga: AccOrdered [%d,%d) of %d elements", lo, hi, src.Len()))
+		return fmt.Errorf("ga: AccOrdered [%d,%d) of %d elements", lo, hi, src.Len())
 	}
 	s.accMu.Lock()
 	m := s.pending[name]
@@ -160,6 +171,7 @@ func (s *Store) AccOrdered(name string, key tensor.BlockKey, src *tensor.Tile4, 
 	}
 	m[key] = append(m[key], orderedAcc{tag: tag, lo: lo, hi: hi, scale: scale, src: src})
 	s.accMu.Unlock()
+	return nil
 }
 
 // flushOrdered folds the named array's buffered contributions. Blocks
@@ -183,7 +195,12 @@ func (s *Store) flushOrdered(name string, bt *tensor.BlockTensor4) {
 			return accs[i].lo < accs[j].lo
 		})
 		dst := bt.GetOrCreate(key, accs[0].src.Dim)
-		for _, a := range accs {
+		for n, a := range accs {
+			// Suppress retransmitted duplicates: after the (tag, lo) sort a
+			// retried contribution sits next to its original.
+			if n > 0 && accs[n-1] == a {
+				continue
+			}
 			for i := a.lo; i < a.hi; i++ {
 				dst.Data[i] += a.scale * a.src.Data[i]
 			}
@@ -245,6 +262,9 @@ func (g *Sim) GetHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows in
 func (g *Sim) AddHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows int) {
 	g.accs.Add(1)
 	g.accBytes.Add(bytes)
+	if d := g.mach.Faults().AccHiccup(); d > 0 {
+		p.Hold(d)
+	}
 	if reqNode == owner {
 		// Even a local accumulate goes through the GA library's locked
 		// strided update path, serviced by the node's one-sided engine.
@@ -255,8 +275,14 @@ func (g *Sim) AddHashBlock(p *sim.Proc, reqNode, owner int, bytes int64, rows in
 }
 
 // NxtVal performs one remote atomic fetch-and-increment, serialized
-// through the global counter server.
-func (g *Sim) NxtVal(p *sim.Proc) int64 { return g.counter.Next(p) }
+// through the global counter server. A fault-injected service hiccup
+// stretches the caller's round trip before it reaches the server.
+func (g *Sim) NxtVal(p *sim.Proc) int64 {
+	if d := g.mach.Faults().NxtValHiccup(); d > 0 {
+		p.Hold(d)
+	}
+	return g.counter.Next(p)
+}
 
 // ResetNxtVal rewinds the shared counter. The TCE code does this between
 // work levels, after the inter-level synchronization (§III-A); callers

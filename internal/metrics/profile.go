@@ -39,6 +39,27 @@ type CommRow struct {
 	Bytes int64
 }
 
+// RecoveryStats mirrors internal/obsv.Recovery: the counters of what
+// the comm threads and scheduler did to absorb injected faults.
+type RecoveryStats struct {
+	Retries         int
+	Drops           int
+	AckDrops        int
+	DupSuppressed   int
+	BackoffTime     int64
+	RetransmitBytes int64
+	Redispatches    int
+	RedispatchBytes int64
+}
+
+// SlowdownRow is one injected cause's charge against a perturbed run's
+// loss, mirroring internal/obsv.SlowdownCause.
+type SlowdownRow struct {
+	Cause string
+	Time  int64
+	Frac  float64
+}
+
 // PathRow is one class's share of the critical path, mirroring
 // internal/obsv.PathShare.
 type PathRow struct {
@@ -82,6 +103,17 @@ type ProfileReport struct {
 	CritLength int64
 	TotalWork  int64
 	MaxSpeedup float64
+
+	// Recovery renders the fault-recovery section when non-nil.
+	Recovery *RecoveryStats
+
+	// Slowdown attribution against a fault-free baseline; rendered only
+	// when SlowdownShown is set (the section is meaningful even with an
+	// empty cause list, e.g. a perturbed run that lost no time).
+	SlowdownShown bool
+	BaselineSpan  int64
+	SlowdownLoss  int64
+	Slowdown      []SlowdownRow
 }
 
 // fmtNS renders a nanosecond quantity with a unit chosen for legibility.
@@ -110,6 +142,14 @@ func fmtBytes(b int64) string {
 	default:
 		return fmt.Sprintf("%dB", b)
 	}
+}
+
+// fmtSignedNS is fmtNS with an explicit sign for deltas.
+func fmtSignedNS(ns int64) string {
+	if ns < 0 {
+		return "-" + fmtNS(-ns)
+	}
+	return "+" + fmtNS(ns)
 }
 
 func rule(w io.Writer, n int) error {
@@ -219,6 +259,51 @@ func (p *ProfileReport) WriteTable(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%-10s %7d %10s %6.1f%%\n",
 				r.Class, r.Tasks, fmtNS(r.Time), 100*r.Frac); err != nil {
 				return err
+			}
+		}
+	}
+
+	if rc := p.Recovery; rc != nil {
+		if _, err := fmt.Fprintf(w,
+			"\nfault recovery\nretries %d (%d payload drops, %d lost acks), %d duplicates suppressed\n",
+			rc.Retries, rc.Drops, rc.AckDrops, rc.DupSuppressed); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "backoff %s, retransmitted %s\n",
+			fmtNS(rc.BackoffTime), fmtBytes(rc.RetransmitBytes)); err != nil {
+			return err
+		}
+		if rc.Redispatches > 0 {
+			if _, err := fmt.Fprintf(w, "re-dispatch: %d tasks migrated off stragglers, %s of inputs moved\n",
+				rc.Redispatches, fmtBytes(rc.RedispatchBytes)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if p.SlowdownShown {
+		if _, err := fmt.Fprintf(w,
+			"\nslowdown vs fault-free: %s (baseline %s, perturbed %s)\n",
+			fmtSignedNS(p.SlowdownLoss), fmtNS(p.BaselineSpan), fmtNS(p.Span)); err != nil {
+			return err
+		}
+		if len(p.Slowdown) > 0 {
+			header := fmt.Sprintf("%-18s %10s %14s", "cause", "charged", "share-of-loss")
+			if _, err := fmt.Fprintln(w, header); err != nil {
+				return err
+			}
+			if err := rule(w, len(header)); err != nil {
+				return err
+			}
+			for _, r := range p.Slowdown {
+				share := "-"
+				if r.Frac > 0 {
+					share = fmt.Sprintf("%.1f%%", 100*r.Frac)
+				}
+				if _, err := fmt.Fprintf(w, "%-18s %10s %14s\n",
+					r.Cause, fmtNS(r.Time), share); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -85,7 +85,7 @@ func TestProfileReportOmitsEmptySections(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, section := range []string{"task durations", "idle:", "communication volume", "critical path"} {
+	for _, section := range []string{"task durations", "idle:", "communication volume", "critical path", "fault recovery", "slowdown vs fault-free"} {
 		if bytes.Contains([]byte(out), []byte(section)) {
 			t.Errorf("empty report contains %q section:\n%s", section, out)
 		}
@@ -108,5 +108,59 @@ func TestFmtHelpers(t *testing.T) {
 		if got := fmtBytes(tc.b); got != tc.want {
 			t.Errorf("fmtBytes(%d) = %q, want %q", tc.b, got, tc.want)
 		}
+	}
+}
+
+// TestProfileReportRecoverySections pins the fault-recovery and
+// slowdown-attribution renderings added with the fault layer.
+func TestProfileReportRecoverySections(t *testing.T) {
+	p := &ProfileReport{
+		Title: "perturbed", Span: 2_600_000_000, Tasks: 10,
+		Recovery: &RecoveryStats{
+			Retries: 3, Drops: 2, AckDrops: 1, DupSuppressed: 1,
+			BackoffTime: 150_000, RetransmitBytes: 2_000_000,
+			Redispatches: 4, RedispatchBytes: 800_000,
+		},
+		SlowdownShown: true,
+		BaselineSpan:  2_500_000_000,
+		SlowdownLoss:  100_000_000,
+		Slowdown: []SlowdownRow{
+			{Cause: "straggler n0", Time: 80_000_000, Frac: 0.8},
+			{Cause: "xfer backoff", Time: 150_000, Frac: 0.0015},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fault recovery",
+		"retries 3 (2 payload drops, 1 lost acks), 1 duplicates suppressed",
+		"backoff 150.0us, retransmitted 2.00MB",
+		"re-dispatch: 4 tasks migrated off stragglers, 800.0kB of inputs moved",
+		"slowdown vs fault-free: +100.00ms (baseline 2.500s, perturbed 2.600s)",
+		"straggler n0",
+		"80.0%",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// No migrations -> no re-dispatch line; a faster perturbed run
+	// renders a negative delta, not garbage.
+	p.Recovery.Redispatches = 0
+	p.SlowdownLoss = -50_000_000
+	p.Slowdown = nil
+	buf.Reset()
+	if err := p.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if bytes.Contains([]byte(out), []byte("re-dispatch")) {
+		t.Errorf("re-dispatch line rendered with zero migrations:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("-50.00ms")) {
+		t.Errorf("negative loss not rendered as signed delta:\n%s", out)
 	}
 }

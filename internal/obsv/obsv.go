@@ -274,6 +274,47 @@ type RampStat struct {
 	MaxFrac  float64 `json:"max_frac"`
 }
 
+// Recovery is the fault-recovery side of a profile: what the comm
+// threads and the scheduler did to absorb injected faults. Retries
+// counts retransmissions (one per payload drop or lost ack); backoff is
+// the total time senders spent waiting between attempts; retransmit
+// bytes are extra wire volume beyond the logical traffic in CommStats.
+// Redispatches counts tasks migrated off straggling nodes by the
+// inter-node steal path, with the input bytes their GETs dragged along.
+type Recovery struct {
+	Retries         int   `json:"retries,omitempty"`
+	Drops           int   `json:"drops,omitempty"`
+	AckDrops        int   `json:"ack_drops,omitempty"`
+	DupSuppressed   int   `json:"dup_suppressed,omitempty"`
+	BackoffTime     int64 `json:"backoff_ns,omitempty"`
+	RetransmitBytes int64 `json:"retransmit_bytes,omitempty"`
+	Redispatches    int   `json:"redispatches,omitempty"`
+	RedispatchBytes int64 `json:"redispatch_bytes,omitempty"`
+}
+
+// SlowdownCause charges part of a perturbed run's loss to one injected
+// cause (a straggling node, latency spikes, GA-service hiccups, retry
+// backoff). Charges are serial wall-clock charges from the injector's
+// ledger: parallel slack absorbs some of them and recovery shifts
+// others off the critical path, so shares of the observed loss need not
+// sum to 100% — a share well above it means recovery hid most of the
+// injected delay.
+type SlowdownCause struct {
+	Cause string `json:"cause"`
+	Time  int64  `json:"time_ns"`
+	// Frac is Time over the observed loss; 0 when the loss is not
+	// positive (guarding the JSON export against NaN/Inf).
+	Frac float64 `json:"frac_of_loss,omitempty"`
+}
+
+// Slowdown compares a perturbed run against its fault-free twin and
+// attributes the difference.
+type Slowdown struct {
+	BaselineSpan int64           `json:"baseline_span_ns"`
+	Loss         int64           `json:"loss_ns"`
+	Causes       []SlowdownCause `json:"causes,omitempty"`
+}
+
 // PathShare is one task class's contribution to the critical path.
 type PathShare struct {
 	Class string  `json:"class"`
@@ -302,6 +343,8 @@ type Profile struct {
 	Ramp    *RampStat       `json:"ramp,omitempty"`
 	Comm    *CommStats      `json:"comm,omitempty"`
 	Crit    *CritPath       `json:"critical_path,omitempty"`
+	Recov   *Recovery       `json:"recovery,omitempty"`
+	Slow    *Slowdown       `json:"slowdown,omitempty"`
 }
 
 // FromTrace computes the histogram and idle-gap halves of a profile from
@@ -390,6 +433,30 @@ func FromTrace(name string, t *trace.Trace) *Profile {
 
 // SetComm attaches communication-volume counters.
 func (p *Profile) SetComm(c CommStats) { p.Comm = &c }
+
+// SetRecovery attaches fault-recovery counters.
+func (p *Profile) SetRecovery(rec Recovery) { p.Recov = &rec }
+
+// SetSlowdown attaches slowdown attribution against a fault-free
+// baseline span. Zero-time causes are dropped; the rest are ordered
+// largest charge first. Fractions are only computed when the observed
+// loss is positive, so the JSON export never carries NaN or Inf.
+func (p *Profile) SetSlowdown(baselineSpan int64, causes []SlowdownCause) {
+	s := &Slowdown{BaselineSpan: baselineSpan, Loss: p.Span - baselineSpan}
+	for _, c := range causes {
+		if c.Time == 0 {
+			continue
+		}
+		if s.Loss > 0 {
+			c.Frac = float64(c.Time) / float64(s.Loss)
+		} else {
+			c.Frac = 0
+		}
+		s.Causes = append(s.Causes, c)
+	}
+	sort.SliceStable(s.Causes, func(i, j int) bool { return s.Causes[i].Time > s.Causes[j].Time })
+	p.Slow = s
+}
 
 // SetRamp attaches the time-to-first-event ramp for one class,
 // computed from the recorded trace (trace.RampStats).
@@ -522,6 +589,24 @@ func (p *Profile) Report(maxWorkers int) *metrics.ProfileReport {
 		for _, s := range cp.Shares {
 			r.Path = append(r.Path, metrics.PathRow{
 				Class: s.Class, Tasks: s.Tasks, Time: s.Time, Frac: s.Frac,
+			})
+		}
+	}
+	if rc := p.Recov; rc != nil {
+		r.Recovery = &metrics.RecoveryStats{
+			Retries: rc.Retries, Drops: rc.Drops, AckDrops: rc.AckDrops,
+			DupSuppressed: rc.DupSuppressed, BackoffTime: rc.BackoffTime,
+			RetransmitBytes: rc.RetransmitBytes, Redispatches: rc.Redispatches,
+			RedispatchBytes: rc.RedispatchBytes,
+		}
+	}
+	if s := p.Slow; s != nil {
+		r.BaselineSpan = s.BaselineSpan
+		r.SlowdownLoss = s.Loss
+		r.SlowdownShown = true
+		for _, c := range s.Causes {
+			r.Slowdown = append(r.Slowdown, metrics.SlowdownRow{
+				Cause: c.Cause, Time: c.Time, Frac: c.Frac,
 			})
 		}
 	}

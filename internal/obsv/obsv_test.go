@@ -277,3 +277,97 @@ func TestSetRamp(t *testing.T) {
 		t.Fatalf("report ramp: class=%q max=%d", r.RampClass, r.RampMax)
 	}
 }
+
+// TestSingleInstantTraceNoNaN is the zero-span regression: a trace whose
+// only event is instantaneous gives Span == 0, and every derived
+// fraction (idle, ramp, slowdown) must stay finite so WriteJSON — which
+// rejects NaN/Inf outright — still succeeds with all sections attached.
+func TestSingleInstantTraceNoNaN(t *testing.T) {
+	tr := trace.New()
+	tr.Add(trace.Event{Node: 0, Thread: 0, Class: "NXTVAL", Start: 7, End: 7})
+	p := FromTrace("instant", tr)
+	if p.Span != 0 || p.Tasks != 1 {
+		t.Fatalf("span=%d tasks=%d, want 0/1", p.Span, p.Tasks)
+	}
+	p.SetRamp("NXTVAL", tr)
+	p.SetCritical(ptg.Analysis{})
+	p.SetComm(CommStats{})
+	p.SetRecovery(Recovery{})
+	p.SetSlowdown(0, []SlowdownCause{{Cause: "straggler n0", Time: 5}})
+	if p.Idle.MeanIdleFrac != 0 || p.Ramp.MeanFrac != 0 || p.Ramp.MaxFrac != 0 {
+		t.Fatalf("zero-span fractions leaked: idle=%g ramp=%g/%g",
+			p.Idle.MeanIdleFrac, p.Ramp.MeanFrac, p.Ramp.MaxFrac)
+	}
+	// Zero loss: the cause keeps its charge but gets no fraction.
+	if got := p.Slow.Causes[0].Frac; got != 0 {
+		t.Fatalf("frac with zero loss = %g, want 0", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Profile{p}); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("NaN")) || bytes.Contains(buf.Bytes(), []byte("Inf")) {
+		t.Fatalf("JSON carries non-finite values:\n%s", buf.Bytes())
+	}
+	if err := p.Report(4).WriteTable(&buf); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+}
+
+// TestEmptyTraceJSON: a profile of a trace with no events at all must
+// export cleanly too.
+func TestEmptyTraceJSON(t *testing.T) {
+	p := FromTrace("empty", trace.New())
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Profile{p}); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back []Profile
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back) != 1 || back[0].Span != 0 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+// TestSetSlowdownAttribution: causes come back largest first with
+// fractions of the observed loss; zero-time causes are dropped.
+func TestSetSlowdownAttribution(t *testing.T) {
+	p := &Profile{Name: "perturbed", Span: 1500}
+	p.SetSlowdown(1000, []SlowdownCause{
+		{Cause: "xfer backoff", Time: 100},
+		{Cause: "ga hiccups", Time: 0},
+		{Cause: "straggler n2", Time: 400},
+	})
+	s := p.Slow
+	if s.BaselineSpan != 1000 || s.Loss != 500 {
+		t.Fatalf("baseline=%d loss=%d", s.BaselineSpan, s.Loss)
+	}
+	if len(s.Causes) != 2 || s.Causes[0].Cause != "straggler n2" {
+		t.Fatalf("causes = %+v", s.Causes)
+	}
+	if math.Abs(s.Causes[0].Frac-0.8) > 1e-12 || math.Abs(s.Causes[1].Frac-0.2) > 1e-12 {
+		t.Fatalf("fracs = %g/%g, want 0.8/0.2", s.Causes[0].Frac, s.Causes[1].Frac)
+	}
+	r := p.Report(4)
+	if !r.SlowdownShown || r.SlowdownLoss != 500 || len(r.Slowdown) != 2 {
+		t.Fatalf("report slowdown: shown=%v loss=%d rows=%d",
+			r.SlowdownShown, r.SlowdownLoss, len(r.Slowdown))
+	}
+}
+
+// TestSetRecoveryReport: recovery counters flow through to the report
+// only when attached.
+func TestSetRecoveryReport(t *testing.T) {
+	p := &Profile{Name: "clean", Span: 100}
+	if p.Report(4).Recovery != nil {
+		t.Fatal("report grew a recovery section without SetRecovery")
+	}
+	p.SetRecovery(Recovery{Retries: 3, Drops: 2, AckDrops: 1, DupSuppressed: 1,
+		BackoffTime: 150_000, RetransmitBytes: 2_000_000, Redispatches: 4, RedispatchBytes: 800_000})
+	rc := p.Report(4).Recovery
+	if rc == nil || rc.Retries != 3 || rc.Redispatches != 4 || rc.RedispatchBytes != 800_000 {
+		t.Fatalf("report recovery = %+v", rc)
+	}
+}

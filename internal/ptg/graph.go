@@ -140,12 +140,29 @@ type Ctx struct {
 	// prefilled with In; bodies overwrite entries for flows whose data
 	// they produce or replace.
 	Out []any
+
+	// err is the first failure recorded by Fail; the runtime surfaces it
+	// as a task error after the body returns.
+	err error
 }
 
 // InByName returns the input payload of the named flow.
 func (c *Ctx) InByName(class *TaskClass, name string) any {
 	return c.In[class.MustFlowIndex(name)]
 }
+
+// Fail records a task-body failure without panicking. Bodies call it
+// when a fallible operation (e.g. a Global Arrays accumulate) reports
+// an error; the runtime fails the task — and the run — cleanly after
+// the body returns. Only the first failure is kept.
+func (c *Ctx) Fail(err error) {
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+}
+
+// Err returns the first failure recorded by Fail, or nil.
+func (c *Ctx) Err() error { return c.err }
 
 // TaskClass is one parameterized task class of a PTG.
 type TaskClass struct {

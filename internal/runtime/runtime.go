@@ -94,6 +94,12 @@ type Config struct {
 	// Observer, if set, receives an Event after each task completes.
 	// Called concurrently from workers; must be safe.
 	Observer func(Event)
+	// TaskDelay, if set, is called before each task body with the
+	// executing worker and instance, and the worker sleeps for the
+	// returned duration. It is a fault-injection hook: straggler tests
+	// slow chosen workers down to exercise steal-under-straggler on the
+	// real runtime. Called concurrently from workers; must be safe.
+	TaskDelay func(worker int, ref ptg.TaskRef) time.Duration
 }
 
 // SchedStats exposes the scheduler's internal counters for one run,
@@ -632,6 +638,11 @@ func (r *runner) execute(worker int, in *ptg.Instance) error {
 	}
 	copy(ctx.Out, in.In)
 	obs := r.cfg.Observer
+	if delay := r.cfg.TaskDelay; delay != nil {
+		if d := delay(worker, in.Ref); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	var t0 time.Time
 	if obs != nil {
 		t0 = time.Now()
@@ -639,6 +650,9 @@ func (r *runner) execute(worker int, in *ptg.Instance) error {
 	if body := in.Class.Body; body != nil {
 		if err := safeBody(body, ctx, in); err != nil {
 			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("runtime: task %v failed: %w", in.Ref, err)
 		}
 	}
 	var dur time.Duration

@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parsec/internal/ptg"
+)
+
+// stragglerFan builds n independent tasks with a small real body so
+// stealing has something to overlap.
+func stragglerFan(n int) *ptg.Graph {
+	g := ptg.NewGraph("straggler-fan")
+	c := g.Class("T")
+	c.Domain = func(emit func(ptg.Args)) {
+		for i := 0; i < n; i++ {
+			emit(ptg.A1(i))
+		}
+	}
+	c.Body = func(ctx *ptg.Ctx) {
+		sum := 0.0
+		for i := 0; i < 2000; i++ {
+			sum += float64(i)
+		}
+		_ = sum
+	}
+	return g
+}
+
+// TestStealUnderStragglerRealRuntime exercises the steal-under-failure
+// path on the goroutine runtime: the TaskDelay hook slows worker 0 the
+// way the fault injector slows a simulated node, and PerWorkerSteal
+// must shift that worker's pinned backlog to its siblings.
+func TestStealUnderStragglerRealRuntime(t *testing.T) {
+	const workers, n = 4, 400
+	var perWorker [workers]atomic.Int64
+	g := stragglerFan(n)
+	rep, err := Run(g, Config{
+		Workers: workers,
+		Queues:  PerWorkerSteal,
+		TaskDelay: func(worker int, ref ptg.TaskRef) time.Duration {
+			perWorker[worker].Add(1)
+			if worker == 0 {
+				return 200 * time.Microsecond // the straggler
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != n {
+		t.Fatalf("tasks = %d, want %d", rep.Tasks, n)
+	}
+	if rep.Sched.Steals == 0 {
+		t.Error("no steals despite a straggling worker")
+	}
+	// Seq pins tasks round-robin, so worker 0 starts with n/workers
+	// tasks; stealing must have moved a meaningful share of them.
+	if got := perWorker[0].Load(); got >= n/workers {
+		t.Errorf("straggler executed %d tasks, want fewer than its pinned %d", got, n/workers)
+	}
+	var total int64
+	for i := range perWorker {
+		total += perWorker[i].Load()
+	}
+	if total != n {
+		t.Errorf("executed %d tasks total, want %d", total, n)
+	}
+}
+
+// TestCtxFailSurfacesAsTaskError: a body that records a failure through
+// Ctx.Fail must fail the run with that error, without panicking.
+func TestCtxFailSurfacesAsTaskError(t *testing.T) {
+	bodyErr := errors.New("acc out of range")
+	g := ptg.NewGraph("failing")
+	c := g.Class("F")
+	c.Domain = func(emit func(ptg.Args)) { emit(ptg.A1(0)) }
+	c.Body = func(ctx *ptg.Ctx) { ctx.Fail(bodyErr) }
+	_, err := Run(g, Config{Workers: 2})
+	if err == nil {
+		t.Fatal("expected run to fail")
+	}
+	if !errors.Is(err, bodyErr) {
+		t.Errorf("error = %v, want wrapped body error", err)
+	}
+}

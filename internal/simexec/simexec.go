@@ -86,6 +86,32 @@ func (c *TaskCtx) ActiveInputs() []Payload {
 // (e.g. Global Arrays interactions, mutex-protected critical sections).
 type Behavior func(ctx *TaskCtx)
 
+// RetryPolicy controls how a node's communication thread recovers from
+// transfers the fault injector drops. The sender detects a lost payload
+// (or a lost ack) only after Timeout, then waits a capped exponential
+// backoff before retransmitting: Backoff, 2*Backoff, ... up to
+// BackoffCap. After MaxRetries retransmissions the transfer — and the
+// run — fails.
+type RetryPolicy struct {
+	Timeout    sim.Time
+	Backoff    sim.Time
+	BackoffCap sim.Time
+	MaxRetries int
+}
+
+// DefaultRetryPolicy returns the policy used when faults are injected
+// and the caller did not set one: detection well above the network RTT,
+// backoff that caps below typical task durations, and enough attempts
+// that a run only fails under a truly partitioned link.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:    200 * sim.Microsecond,
+		Backoff:    50 * sim.Microsecond,
+		BackoffCap: 800 * sim.Microsecond,
+		MaxRetries: 10,
+	}
+}
+
 // Config controls a simulated run.
 type Config struct {
 	CoresPerNode int // worker threads per node (comm thread is extra)
@@ -104,6 +130,21 @@ type Config struct {
 	// Horizon aborts the simulation after this much virtual time
 	// (0 = unlimited).
 	Horizon sim.Time
+	// Retry configures the comm thread's loss recovery. The zero value
+	// selects DefaultRetryPolicy; it is only consulted when the machine
+	// has a fault injector that can drop transfers.
+	Retry RetryPolicy
+	// InterNodeSteal extends PerWorkerSteal across node boundaries: a
+	// worker with no local work may re-dispatch a ready task queued on
+	// another node, paying the transfer of the task's input payloads to
+	// its own node (its GETs move with it). Requires Queues ==
+	// PerWorkerSteal.
+	InterNodeSteal bool
+	// Migratable filters which classes InterNodeSteal may move. nil
+	// allows every class without a Behaviors entry — behaviors model
+	// node-resident state (GA handles, the node write mutex) that cannot
+	// migrate.
+	Migratable func(class string) bool
 }
 
 // Result summarizes a simulated run.
@@ -118,6 +159,27 @@ type Result struct {
 	// BytesByClass splits BytesSent by the consuming task's class — the
 	// communication-volume attribution of the profile report.
 	BytesByClass map[string]int64
+
+	// Recovery counters, nonzero only under fault injection.
+	//
+	// Retries counts retransmissions after a payload or ack loss;
+	// Drops/AckDrops split the losses by kind. DupSuppressed counts
+	// deliveries discarded because an earlier attempt already landed
+	// (the receiver's at-least-once dedup). BackoffTime is the total
+	// virtual time comm threads spent in retry backoff (detection
+	// timeouts excluded), and RetransmitBytes the wire volume beyond
+	// the first attempt.
+	Retries         int
+	Drops           int
+	AckDrops        int
+	DupSuppressed   int
+	BackoffTime     sim.Time
+	RetransmitBytes int64
+	// Redispatches counts ready tasks migrated off their affinity node
+	// by the inter-node steal path; RedispatchBytes is the input payload
+	// volume that moved with them.
+	Redispatches    int
+	RedispatchBytes int64
 }
 
 // String summarizes the run in one line.
@@ -135,6 +197,18 @@ func Run(g *ptg.Graph, m *cluster.Machine, gasim *ga.Sim, cfg Config) (Result, e
 	}
 	if cfg.CoresPerNode <= 0 {
 		return Result{}, fmt.Errorf("simexec: CoresPerNode = %d", cfg.CoresPerNode)
+	}
+	if cfg.InterNodeSteal && cfg.Queues != PerWorkerSteal {
+		return Result{}, fmt.Errorf("simexec: InterNodeSteal requires PerWorkerSteal queues")
+	}
+	if cfg.Retry == (RetryPolicy{}) {
+		cfg.Retry = DefaultRetryPolicy()
+	}
+	if cfg.Migratable == nil {
+		cfg.Migratable = func(class string) bool {
+			_, hasBehavior := cfg.Behaviors[class]
+			return !hasBehavior
+		}
 	}
 	ex := &executor{
 		tr:    tr,
@@ -276,6 +350,14 @@ func (ex *executor) enqueue(in *ptg.Instance) {
 		// specific worker that WakeOne might miss.
 		ns.workersIdle.WakeAll()
 	}
+	if ex.cfg.InterNodeSteal && ex.cfg.Migratable(in.Ref.Class) {
+		// A parked worker on any node is a potential thief for this task.
+		for n, other := range ex.nodes {
+			if n != node {
+				other.workersIdle.WakeOne()
+			}
+		}
+	}
 }
 
 // dequeueFor pops the next task for a specific worker, honoring the
@@ -347,6 +429,12 @@ func (ex *executor) worker(p *sim.Proc, node, wid int) {
 	ns := ex.nodes[node]
 	for {
 		in := ex.dequeueFor(node, wid)
+		if in == nil && ex.cfg.InterNodeSteal {
+			in = ex.stealRemote(p, node, wid)
+			if ex.err != nil {
+				return
+			}
+		}
 		if in == nil {
 			if ex.done {
 				return
@@ -370,11 +458,102 @@ func (ex *executor) worker(p *sim.Proc, node, wid int) {
 				Start: int64(start), End: int64(p.Now()),
 			})
 		}
-		ex.complete(in)
+		ex.complete(in, node)
 		if ex.err != nil {
 			return
 		}
 	}
+}
+
+// stealRemote re-dispatches a ready task queued on another node to this
+// worker: the inter-node extension of PerWorkerSteal. The thief picks
+// the node with the deepest ready backlog holding a migratable task,
+// removes that victim's best such task, and pays the transfer of the
+// task's already-delivered input payloads to its own node — the task's
+// GETs move with it. Behind a straggler this converts queueing delay
+// into one bounded data movement; the fault-free cost is nothing, since
+// workers only probe when they have no local work.
+func (ex *executor) stealRemote(p *sim.Proc, node, wid int) *ptg.Instance {
+	victim := -1
+	for n, ns := range ex.nodes {
+		// Raid only genuinely backed-up victims: a node whose ready
+		// backlog fits its own cores drains it within one task round, and
+		// migrating from it buys wire time for no queueing delay. The
+		// threshold also keeps fast nodes from churning tasks among
+		// themselves during uneven startup.
+		if n == node || ns.ready <= ex.cfg.CoresPerNode || (victim >= 0 && ns.ready <= ex.nodes[victim].ready) {
+			continue
+		}
+		if ex.findMigratable(ns) != nil {
+			victim = n
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	vs := ex.nodes[victim]
+	in := ex.popMigratable(vs)
+	if in == nil {
+		return nil
+	}
+	vs.ready--
+	ex.sample("ready tasks", victim, float64(vs.ready))
+
+	var moved int64
+	for _, inp := range in.In {
+		if pl, ok := inp.(Payload); ok {
+			moved += pl.Bytes
+		}
+	}
+	start := p.Now()
+	ex.m.Transfer(p, node, victim, moved)
+	ex.res.Redispatches++
+	ex.res.RedispatchBytes += moved
+	if ex.cfg.Trace != nil && p.Now() > start {
+		ex.cfg.Trace.Add(trace.Event{
+			Node: node, Thread: wid,
+			Class: "MIGRATE", Label: in.Ref.String(),
+			Start: int64(start), End: int64(p.Now()),
+		})
+	}
+	return in
+}
+
+// findMigratable returns a node's best queued migratable task without
+// removing it, or nil.
+func (ex *executor) findMigratable(ns *nodeState) *ptg.Instance {
+	var best *ptg.Instance
+	for w := range ns.perWorker {
+		for _, in := range ns.perWorker[w] {
+			if !ex.cfg.Migratable(in.Ref.Class) {
+				continue
+			}
+			if best == nil || taskBefore(in, best) {
+				best = in
+			}
+		}
+	}
+	return best
+}
+
+// popMigratable removes and returns a node's best queued migratable
+// task, or nil.
+func (ex *executor) popMigratable(ns *nodeState) *ptg.Instance {
+	bw, bi := -1, -1
+	for w := range ns.perWorker {
+		for i, in := range ns.perWorker[w] {
+			if !ex.cfg.Migratable(in.Ref.Class) {
+				continue
+			}
+			if bw < 0 || taskBefore(in, ns.perWorker[bw][bi]) {
+				bw, bi = w, i
+			}
+		}
+	}
+	if bw < 0 {
+		return nil
+	}
+	return heap.Remove(&ns.perWorker[bw], bi).(*ptg.Instance)
 }
 
 // execute charges the task's simulated duration.
@@ -397,8 +576,10 @@ func (ex *executor) execute(p *sim.Proc, node int, in *ptg.Instance) {
 }
 
 // complete evaluates the finished task's dataflow: local deliveries are
-// immediate, remote ones are queued on this node's communication thread.
-func (ex *executor) complete(in *ptg.Instance) {
+// immediate, remote ones are queued on the communication thread of the
+// node that executed the task (its affinity node unless the task was
+// re-dispatched).
+func (ex *executor) complete(in *ptg.Instance, node int) {
 	dels, _, err := ex.tr.Complete(in)
 	if err != nil {
 		ex.fail(err)
@@ -407,13 +588,13 @@ func (ex *executor) complete(in *ptg.Instance) {
 	ex.res.ByClass[in.Ref.Class]++
 	for _, d := range dels {
 		pl := Payload{Bytes: d.Bytes}
-		if d.To.Node == in.Node {
+		if d.To.Node == node {
 			ex.deliver(d, pl)
 		} else {
-			ns := ex.nodes[in.Node]
+			ns := ex.nodes[node]
 			ns.commQ = append(ns.commQ, transfer{del: d, payload: pl})
 			ns.commBytes += pl.Bytes
-			ex.sample("comm bytes in flight", in.Node, float64(ns.commBytes))
+			ex.sample("comm bytes in flight", node, float64(ns.commBytes))
 			ns.commIdle.WakeOne()
 		}
 	}
@@ -435,7 +616,8 @@ func (ex *executor) deliver(d ptg.Delivery, pl Payload) {
 
 // comm is the main loop of one node's communication thread: it serves
 // queued transfers in FIFO order, one at a time, charging network latency
-// and this node's NIC injection bandwidth per payload.
+// and this node's NIC injection bandwidth per payload. Each transfer
+// runs through the retry state machine in send.
 func (ex *executor) comm(p *sim.Proc, node int) {
 	ns := ex.nodes[node]
 	for {
@@ -448,17 +630,102 @@ func (ex *executor) comm(p *sim.Proc, node int) {
 		}
 		t := ns.commQ[0]
 		ns.commQ = ns.commQ[:copy(ns.commQ, ns.commQ[1:])]
-		ex.m.Transfer(p, node, t.del.To.Node, t.payload.Bytes)
+		ex.send(p, node, t)
 		ns.commBytes -= t.payload.Bytes
 		ex.sample("comm bytes in flight", node, float64(ns.commBytes))
-		ex.res.BytesSent += t.payload.Bytes
-		ex.res.Transfers++
-		ex.res.BytesByClass[t.del.To.Ref.Class] += t.payload.Bytes
-		ex.deliver(t.del, t.payload)
 		if ex.err != nil {
 			return
 		}
 	}
+}
+
+// send pushes one transfer through until its ack comes back, retrying
+// around injected faults:
+//
+//   - payload drop: the receiver saw nothing; the sender burns the
+//     detection timeout, waits out the (capped, doubling) backoff, and
+//     retransmits;
+//   - ack drop: the payload landed, so the first arrival is delivered
+//     and later arrivals are suppressed as duplicates, but the sender —
+//     which cannot tell an ack loss from a payload loss — still times
+//     out and retransmits;
+//   - latency spike: the attempt succeeds after extra delay.
+//
+// Exhausting MaxRetries retransmissions fails the run: the link is
+// treated as partitioned, which the dataflow model cannot route around.
+func (ex *executor) send(p *sim.Proc, node int, t transfer) {
+	pol := ex.cfg.Retry
+	inj := ex.m.Faults()
+	backoff := pol.Backoff
+	delivered := false
+	retried := false
+	start := p.Now()
+	for attempt := 1; ; attempt++ {
+		out := inj.Transfer(node, t.del.To.Node)
+		if out.Extra > 0 {
+			p.Hold(out.Extra)
+		}
+		lost := out.Drop
+		if !lost {
+			ex.m.Transfer(p, node, t.del.To.Node, t.payload.Bytes)
+			if attempt > 1 {
+				ex.res.RetransmitBytes += t.payload.Bytes
+			}
+			if delivered {
+				ex.res.DupSuppressed++
+			} else {
+				delivered = true
+				ex.res.BytesSent += t.payload.Bytes
+				ex.res.Transfers++
+				ex.res.BytesByClass[t.del.To.Ref.Class] += t.payload.Bytes
+				ex.deliver(t.del, t.payload)
+				if ex.err != nil {
+					return
+				}
+			}
+			if !out.AckDrop {
+				break
+			}
+			ex.res.AckDrops++
+		} else {
+			ex.res.Drops++
+		}
+		// The ack never arrived (payload or ack lost): detect by timeout,
+		// back off, retransmit.
+		p.Hold(pol.Timeout)
+		if attempt > pol.MaxRetries {
+			ex.fail(fmt.Errorf("simexec: transfer %s -> node %d for %v lost %d times, retries exhausted",
+				formatBytes(t.payload.Bytes), t.del.To.Node, t.del.To.Ref, attempt))
+			return
+		}
+		ex.res.Retries++
+		ex.res.BackoffTime += backoff
+		retried = true
+		p.Hold(backoff)
+		if backoff *= 2; backoff > pol.BackoffCap {
+			backoff = pol.BackoffCap
+		}
+	}
+	if retried && ex.cfg.Trace != nil && p.Now() > start {
+		// Mark retried transfers on the comm thread's own row (one past
+		// the worker threads) so recovery is visible in the Gantt views.
+		ex.cfg.Trace.Add(trace.Event{
+			Node: node, Thread: ex.cfg.CoresPerNode,
+			Class: "XFER-RETRY", Label: t.del.To.Ref.String(),
+			Start: int64(start), End: int64(p.Now()),
+		})
+	}
+}
+
+// formatBytes renders a payload size compactly for error messages.
+func formatBytes(b int64) string {
+	if b >= 1e6 {
+		return fmt.Sprintf("%.1fMB", float64(b)/1e6)
+	}
+	if b >= 1e3 {
+		return fmt.Sprintf("%.1fkB", float64(b)/1e3)
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // checkDone wakes every parked process once all tasks completed so the
