@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench lint fig9 traces profile faults examples clean
+.PHONY: all build vet test race bench lint fig9 traces profile faults sched-conformance examples clean
 
 all: build vet test lint
 
@@ -43,6 +43,11 @@ profile:
 # Seeded fault-injection sweep; regenerates docs/faults.json.
 faults:
 	$(GO) run ./cmd/ccsim -faults
+
+# Scheduling-core conformance: the real runtime and the simulator must
+# take identical scheduling decisions (internal/sched/conformance_test.go).
+sched-conformance:
+	$(GO) test -race -run 'TestPopOrderEquivalence|TestSimexecDecisionsMatchShadowModel|TestStealVictimGolden|TestInterNodeStealInvariants' ./internal/sched
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -15,7 +15,7 @@ import (
 	"parsec/internal/molecule"
 	"parsec/internal/obsv"
 	"parsec/internal/ptg"
-	"parsec/internal/runtime"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/simexec"
 	"parsec/internal/tce"
@@ -82,11 +82,11 @@ type faultRow struct {
 // 4x single-node straggler, the re-dispatching v4 run must lose less
 // than half the span the pinned run loses against fault-free.
 type faultCriterion struct {
-	Series         string  `json:"series"`
-	PinnedLossSec  float64 `json:"pinned_loss_seconds"`
-	StolenLossSec  float64 `json:"redispatch_loss_seconds"`
-	RecoveredFrac  float64 `json:"recovered_frac"`
-	Pass           bool    `json:"pass"`
+	Series        string  `json:"series"`
+	PinnedLossSec float64 `json:"pinned_loss_seconds"`
+	StolenLossSec float64 `json:"redispatch_loss_seconds"`
+	RecoveredFrac float64 `json:"recovered_frac"`
+	Pass          bool    `json:"pass"`
 }
 
 // faultEnergy records the real-runtime reproduction check: perturbed
@@ -154,7 +154,7 @@ func runFaults(sys *molecule.System, mcfg cluster.Config, names []string, cores 
 				}
 				res, err = ccsd.RunSim(sys, spec, mcfg, ccsd.SimRunConfig{
 					CoresPerNode:   cores,
-					Queues:         simexec.PerWorkerSteal,
+					Queues:         sched.PerWorkerSteal,
 					Faults:         inj,
 					InterNodeSteal: sc.interNode,
 				})
@@ -340,7 +340,7 @@ func checkFaultEnergies(names []string, quick bool) (*faultEnergy, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := ccsd.RunRealPerturbed(w, spec, workers, runtime.PerWorkerSteal, delay)
+		res, err := ccsd.RunRealPerturbed(w, spec, workers, sched.PerWorkerSteal, delay)
 		if err != nil {
 			return nil, fmt.Errorf("perturbed real run %s: %w", name, err)
 		}

@@ -34,7 +34,7 @@ import (
 	"parsec/internal/cluster"
 	"parsec/internal/metrics"
 	"parsec/internal/molecule"
-	"parsec/internal/runtime"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/tce"
 )
@@ -252,11 +252,11 @@ with real parallelism, approaching W when one worker monopolizes the run
 
 	modes := []struct {
 		name string
-		q    runtime.QueueMode
+		q    sched.QueueMode
 	}{
-		{"shared", runtime.SharedQueue},
-		{"pinned", runtime.PerWorker},
-		{"pinned-steal", runtime.PerWorkerSteal},
+		{"shared", sched.SharedQueue},
+		{"pinned", sched.PerWorker},
+		{"pinned-steal", sched.PerWorkerSteal},
 	}
 	tbl := &metrics.SchedTable{
 		Title: fmt.Sprintf("shared-memory scheduler sweep on %s (real execution, wall seconds)", sys.Name),

@@ -6,7 +6,7 @@ import (
 	"parsec/internal/ga"
 	"parsec/internal/molecule"
 	"parsec/internal/ptg"
-	"parsec/internal/runtime"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/simexec"
 	"parsec/internal/tce"
@@ -60,7 +60,7 @@ func AnalyzeVariantReal(w *tce.Workload, spec VariantSpec, segHeight int, dur fu
 // real shared-memory runs feed the same profiling pipeline as the
 // simulated ones.
 func RunRealTraced(w *tce.Workload, spec VariantSpec, workers int, tr *trace.Trace) (RealResult, error) {
-	return runRealTraced(w, spec, workers, 0, runtime.SharedQueue, tr)
+	return runRealTraced(w, spec, workers, 0, sched.SharedQueue, tr)
 }
 
 // SimComm tallies the Global-Arrays one-sided traffic of one simulated

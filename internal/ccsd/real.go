@@ -6,6 +6,7 @@ import (
 	"parsec/internal/ga"
 	"parsec/internal/ptg"
 	"parsec/internal/runtime"
+	"parsec/internal/sched"
 	"parsec/internal/tce"
 	"parsec/internal/trace"
 )
@@ -21,13 +22,13 @@ type RealResult struct {
 // functional of the output. All variants must agree with the serial
 // reference to ~14 digits (§IV-A).
 func RunReal(w *tce.Workload, spec VariantSpec, workers int) (RealResult, error) {
-	return runRealWithOptions(w, spec, workers, 0, runtime.SharedQueue)
+	return runRealWithOptions(w, spec, workers, 0, sched.SharedQueue)
 }
 
 // RunRealQueued is RunReal with an explicit ready-queue structure, for
 // comparing the shared queue against PaRSEC-style per-worker queues
 // (§IV-D) on the real workload rather than a microbenchmark.
-func RunRealQueued(w *tce.Workload, spec VariantSpec, workers int, queue runtime.QueueMode) (RealResult, error) {
+func RunRealQueued(w *tce.Workload, spec VariantSpec, workers int, queue sched.QueueMode) (RealResult, error) {
 	return runRealWithOptions(w, spec, workers, 0, queue)
 }
 
@@ -36,27 +37,27 @@ func RunRealQueued(w *tce.Workload, spec VariantSpec, workers int, queue runtime
 // must still match the serial reference bit-for-bit at the 1e-12 level:
 // fault recovery may reshuffle who computes what, never what is
 // computed.
-func RunRealPerturbed(w *tce.Workload, spec VariantSpec, workers int, queue runtime.QueueMode, delay func(worker int, ref ptg.TaskRef) time.Duration) (RealResult, error) {
+func RunRealPerturbed(w *tce.Workload, spec VariantSpec, workers int, queue sched.QueueMode, delay func(worker int, ref ptg.TaskRef) time.Duration) (RealResult, error) {
 	return runRealDelayed(w, spec, workers, 0, queue, nil, delay)
 }
 
 // runRealWithOptions additionally overrides the GEMM segment height
 // (<= 0 keeps the variant default), for the §IV-A locality/parallelism
 // ablation.
-func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode) (RealResult, error) {
+func runRealWithOptions(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue sched.QueueMode) (RealResult, error) {
 	return runRealTraced(w, spec, workers, segHeight, queue, nil)
 }
 
 // runRealTraced is runRealWithOptions with an optional trace sink;
 // when tr is non-nil every completed task is recorded through
 // runtime.TraceObserver.
-func runRealTraced(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode, tr *trace.Trace) (RealResult, error) {
+func runRealTraced(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue sched.QueueMode, tr *trace.Trace) (RealResult, error) {
 	return runRealDelayed(w, spec, workers, segHeight, queue, tr, nil)
 }
 
 // runRealDelayed is the full-option form behind every real-execution
 // entry point, adding the fault-injection task-delay hook.
-func runRealDelayed(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue runtime.QueueMode, tr *trace.Trace, delay func(int, ptg.TaskRef) time.Duration) (RealResult, error) {
+func runRealDelayed(w *tce.Workload, spec VariantSpec, workers, segHeight int, queue sched.QueueMode, tr *trace.Trace, delay func(int, ptg.TaskRef) time.Duration) (RealResult, error) {
 	store := ga.NewStore(1)
 	aName, bName := w.InputTensors()
 	a := store.Create(aName)
@@ -70,9 +71,9 @@ func runRealDelayed(w *tce.Workload, spec VariantSpec, workers, segHeight int, q
 	}
 
 	g := BuildGraph(w, spec, Options{Nodes: 1, Store: store, SegmentHeight: segHeight})
-	policy := runtime.PriorityOrder
+	policy := sched.PriorityOrder
 	if !spec.UsePriorities {
-		policy = runtime.LIFOOrder
+		policy = sched.LIFOOrder
 	}
 	rcfg := runtime.Config{Workers: workers, Policy: policy, Queues: queue, TaskDelay: delay}
 	if tr != nil {

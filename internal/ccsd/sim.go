@@ -8,6 +8,7 @@ import (
 	"parsec/internal/fault"
 	"parsec/internal/ga"
 	"parsec/internal/molecule"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/simexec"
 	"parsec/internal/tce"
@@ -68,7 +69,7 @@ type SimRunConfig struct {
 	Kernel string
 	// Queues selects the intra-node scheduling structure (ablation of the
 	// §IV-D work-stealing choice).
-	Queues simexec.QueueMode
+	Queues sched.QueueMode
 	// WriteSpan > 1 splits output blocks across adjacent nodes (Fig 8).
 	WriteSpan int
 	// Faults, if non-nil, perturbs the run: the machine consults it for
@@ -113,9 +114,9 @@ func runSimGA(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc Si
 	})
 	ps := plans(w, spec, rc.SegmentHeight)
 	g := BuildGraph(w, spec, Options{Nodes: mcfg.Nodes, SegmentHeight: rc.SegmentHeight, WriteSpan: rc.WriteSpan})
-	policy := simexec.PriorityOrder
+	policy := sched.PriorityOrder
 	if !spec.UsePriorities {
-		policy = simexec.LIFOOrder
+		policy = sched.LIFOOrder
 	}
 	res, err := simexec.Run(g, m, gs, simexec.Config{
 		CoresPerNode:   rc.CoresPerNode,

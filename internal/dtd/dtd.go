@@ -15,10 +15,11 @@
 package dtd
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"parsec/internal/sched"
 )
 
 // Mode is how a task accesses one datum.
@@ -106,6 +107,13 @@ type task struct {
 	pending int
 	done    bool
 }
+
+// SchedPriority implements sched.Task: higher-priority tasks run first.
+func (t *task) SchedPriority() int64 { return t.priority }
+
+// SchedSeq implements sched.Task: the insertion index breaks priority
+// ties, so ready tasks run in program order within a priority level.
+func (t *task) SchedSeq() int { return t.id }
 
 // lastAccess tracks the dependency frontier of one datum.
 type lastAccess struct {
@@ -199,27 +207,6 @@ func (e *Engine) Insert(name string, priority int64, body func(*Ctx), accesses .
 	return t.id
 }
 
-// taskHeap orders ready tasks by descending priority, then insertion.
-type taskHeap []*task
-
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].priority != h[j].priority {
-		return h[i].priority > h[j].priority
-	}
-	return h[i].id < h[j].id
-}
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
-func (h *taskHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
-}
-
 // Run executes the DAG on the given number of workers (0 = GOMAXPROCS).
 // The engine may not be reused afterwards.
 func (e *Engine) Run(workers int) error {
@@ -233,7 +220,7 @@ func (e *Engine) Run(workers int) error {
 	var (
 		mu        sync.Mutex
 		cond      = sync.NewCond(&mu)
-		ready     taskHeap
+		ready     sched.Heap[*task]
 		remaining = len(e.tasks)
 		inflight  int
 		idle      int
@@ -242,7 +229,7 @@ func (e *Engine) Run(workers int) error {
 	)
 	for _, t := range e.tasks {
 		if t.pending == 0 {
-			heap.Push(&ready, t)
+			ready.PushTask(t)
 		}
 	}
 	fail := func(err error) {
@@ -278,7 +265,7 @@ func (e *Engine) Run(workers int) error {
 					mu.Unlock()
 					return
 				}
-				t := heap.Pop(&ready).(*task)
+				t := ready.PopTask()
 				inflight++
 				mu.Unlock()
 
@@ -296,7 +283,7 @@ func (e *Engine) Run(workers int) error {
 				for _, s := range t.succs {
 					s.pending--
 					if s.pending == 0 {
-						heap.Push(&ready, s)
+						ready.PushTask(s)
 						cond.Signal()
 					}
 				}

@@ -1,0 +1,21 @@
+package metrics
+
+import "fmt"
+
+// FormatBytes renders a byte quantity with a unit chosen for legibility
+// (B, kB, MB, GB). It is the one byte formatter in the repo: the
+// profile report, the simulator's transfer diagnostics, and every other
+// byte rendering share it so quantities read identically across
+// surfaces.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1fkB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -130,19 +130,9 @@ func fmtNS(ns int64) string {
 	}
 }
 
-// fmtBytes renders a byte quantity with a binary-ish decimal unit.
-func fmtBytes(b int64) string {
-	switch {
-	case b >= 1e9:
-		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
-	case b >= 1e6:
-		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
-	case b >= 1e3:
-		return fmt.Sprintf("%.1fkB", float64(b)/1e3)
-	default:
-		return fmt.Sprintf("%dB", b)
-	}
-}
+// fmtBytes renders a byte quantity with a binary-ish decimal unit (the
+// shared FormatBytes, aliased for brevity at the call sites).
+func fmtBytes(b int64) string { return FormatBytes(b) }
 
 // fmtSignedNS is fmtNS with an explicit sign for deltas.
 func fmtSignedNS(ns int64) string {

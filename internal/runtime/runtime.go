@@ -15,11 +15,13 @@
 // successor activation never serialize against dispatch.
 //
 // The distributed, simulated-machine counterpart is internal/simexec;
-// both consume the same graphs.
+// both consume the same graphs, and both take every scheduling decision
+// — pop order, queue pinning, steal-victim choice — from the shared
+// core in internal/sched, which the conformance suite there proves they
+// apply identically.
 package runtime
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,54 +29,31 @@ import (
 	"time"
 
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 )
 
-// Policy selects how ready tasks are ordered.
-type Policy int
+// Policy selects how ready tasks are ordered; it is the scheduling
+// core's policy type (see sched.Policy for the variants' semantics).
+type Policy = sched.Policy
 
+// The policies, re-exported from the scheduling core.
 const (
-	// PriorityOrder dispatches the highest-priority ready task first
-	// (ties broken by creation order). This is PaRSEC's behavior when the
-	// developer supplies priority expressions (§IV-C).
-	PriorityOrder Policy = iota
-	// LIFOOrder dispatches the most recently enqueued ready task first,
-	// ignoring priorities — the behavior the paper's v2 variant exhibits
-	// with no priorities set (§V, Fig 11).
-	LIFOOrder
+	PriorityOrder = sched.PriorityOrder
+	LIFOOrder     = sched.LIFOOrder
 )
 
-// String names the policy ("priority" or "lifo").
-func (p Policy) String() string {
-	if p == LIFOOrder {
-		return "lifo"
-	}
-	return "priority"
-}
+// QueueMode selects how ready tasks are distributed among workers; it
+// is the scheduling core's mode type (see sched.QueueMode).
+type QueueMode = sched.QueueMode
 
-// QueueMode selects how ready tasks are distributed among workers,
-// mirroring internal/simexec: one shared queue (dynamic load balancing),
-// statically pinned per-worker queues, or pinned queues with stealing —
-// PaRSEC's per-thread queues correspond to PerWorkerSteal.
-type QueueMode int
-
-// The queue modes: one shared queue, pinned per-worker queues, and
-// pinned queues with randomized stealing.
+// The queue modes, re-exported from the scheduling core: one shared
+// queue, pinned per-worker queues, and pinned queues with randomized
+// stealing.
 const (
-	SharedQueue QueueMode = iota
-	PerWorker
-	PerWorkerSteal
+	SharedQueue    = sched.SharedQueue
+	PerWorker      = sched.PerWorker
+	PerWorkerSteal = sched.PerWorkerSteal
 )
-
-// String names the queue mode ("shared", "pinned", "pinned-steal").
-func (q QueueMode) String() string {
-	switch q {
-	case PerWorker:
-		return "pinned"
-	case PerWorkerSteal:
-		return "pinned-steal"
-	}
-	return "shared"
-}
 
 // Event records one task execution for tracing.
 type Event struct {
@@ -100,6 +79,13 @@ type Config struct {
 	// slow chosen workers down to exercise steal-under-straggler on the
 	// real runtime. Called concurrently from workers; must be safe.
 	TaskDelay func(worker int, ref ptg.TaskRef) time.Duration
+	// SchedObserver, if set, receives every scheduling decision
+	// (enqueue/pop/steal) as the core makes it. Called concurrently
+	// from workers, sometimes under a shard lock: it must be cheap,
+	// safe, and must not call back into the runtime. The conformance
+	// suite in internal/sched uses it to compare decisions against the
+	// simulator's.
+	SchedObserver sched.Observer
 }
 
 // SchedStats exposes the scheduler's internal counters for one run,
@@ -141,36 +127,13 @@ func (r Report) String() string {
 	return fmt.Sprintf("%d tasks on %d workers in %v (busy %v)", r.Tasks, r.Workers, r.Elapsed, r.BusyTime)
 }
 
-// readyHeap orders instances by descending priority, then ascending
-// creation sequence.
-type readyHeap []*ptg.Instance
-
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority > h[j].Priority
-	}
-	return h[i].Seq < h[j].Seq
-}
-func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*ptg.Instance)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
-}
-
 // shard is one mutex-protected ready deque. SharedQueue uses a single
 // shard all workers pop from; the per-worker modes give each worker its
-// own. The stack is only used by SharedQueue+LIFOOrder (the per-worker
-// modes always order by priority, as before the sharding).
+// own. The queue discipline (Before-ordered heap, or a LIFO stack for
+// SharedQueue+LIFOOrder only) comes from the scheduling core.
 type shard struct {
 	mu       sync.Mutex
-	heap     readyHeap
-	stack    []*ptg.Instance
+	q        sched.Queue
 	maxDepth int
 	// size is a lock-free emptiness hint for steal victim selection and
 	// park rechecks. It is only written when the shard flips between
@@ -187,7 +150,7 @@ type shard struct {
 type workerState struct {
 	park      chan struct{} // buffered(1): wake tokens coalesce, never drop
 	parked    atomic.Bool
-	rng       uint64
+	rng       sched.RNG
 	tasks     int64
 	parks     int64
 	probes    int64 // steal attempts
@@ -197,15 +160,6 @@ type workerState struct {
 	byClass   map[string]int
 	scratch   []*ptg.Instance   // reusable ready-successor buffer
 	buckets   [][]*ptg.Instance // reusable per-shard batch buckets
-}
-
-func (ws *workerState) nextRand() uint64 {
-	x := ws.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	ws.rng = x
-	return x
 }
 
 // Run executes the graph to completion and returns a report. Execution is
@@ -231,9 +185,12 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 		ws:     make([]workerState, workers),
 		start:  time.Now(),
 	}
+	for i := range r.shards {
+		r.shards[i].q = sched.NewQueue(cfg.Policy, cfg.Queues)
+	}
 	for i := range r.ws {
 		r.ws[i].park = make(chan struct{}, 1)
-		r.ws[i].rng = uint64(i)*0x9E3779B97F4A7C15 + 1
+		r.ws[i].rng = sched.NewRNG(i)
 		r.ws[i].byClass = make(map[string]int)
 	}
 
@@ -322,29 +279,31 @@ type runner struct {
 	start time.Time
 }
 
-// shardFor returns the shard index a ready instance is pinned to.
+// shardFor returns the shard index a ready instance is pinned to (the
+// core's static Seq-modulo assignment).
 func (r *runner) shardFor(in *ptg.Instance) int {
-	if r.cfg.Queues == SharedQueue {
-		return 0
-	}
-	return in.Seq % len(r.shards)
+	return sched.HomeQueue(in, len(r.shards))
 }
 
 // pushLocked appends an instance to a shard; the caller holds s.mu.
-func (r *runner) pushLocked(s *shard, in *ptg.Instance) {
-	var depth int
-	if r.cfg.Queues == SharedQueue && r.cfg.Policy == LIFOOrder {
-		s.stack = append(s.stack, in)
-		depth = len(s.stack)
-	} else {
-		heap.Push(&s.heap, in)
-		depth = len(s.heap)
-	}
+func (r *runner) pushLocked(si int, in *ptg.Instance) {
+	s := &r.shards[si]
+	depth := s.q.Push(in)
 	if depth > s.maxDepth {
 		s.maxDepth = depth
 	}
 	if depth == 1 {
 		s.size.Store(1) // empty -> nonempty flip
+	}
+	r.observe(sched.OpEnqueue, -1, si, in)
+}
+
+// observe forwards one scheduling decision to the configured observer.
+// Kept out of line from the nil check so the no-observer hot path pays
+// a single branch.
+func (r *runner) observe(op sched.Op, worker, queue int, in *ptg.Instance) {
+	if obs := r.cfg.SchedObserver; obs != nil {
+		obs(sched.Event{Op: op, Worker: worker, Queue: queue, Inst: in, Total: -1, Ts: r.Now()})
 	}
 }
 
@@ -354,7 +313,7 @@ func (r *runner) enqueue(in *ptg.Instance) {
 	si := r.shardFor(in)
 	s := &r.shards[si]
 	s.mu.Lock()
-	r.pushLocked(s, in)
+	r.pushLocked(si, in)
 	s.mu.Unlock()
 	r.wakeFor(si)
 }
@@ -376,7 +335,7 @@ func (r *runner) enqueueBatch(ws *workerState, ins []*ptg.Instance) {
 		s := &r.shards[0]
 		s.mu.Lock()
 		for _, in := range ins {
-			r.pushLocked(s, in)
+			r.pushLocked(0, in)
 		}
 		s.mu.Unlock()
 	} else {
@@ -394,7 +353,7 @@ func (r *runner) enqueueBatch(ws *workerState, ins []*ptg.Instance) {
 			s := &r.shards[si]
 			s.mu.Lock()
 			for _, in := range bucket {
-				r.pushLocked(s, in)
+				r.pushLocked(si, in)
 			}
 			s.mu.Unlock()
 			ws.buckets[si] = bucket[:0]
@@ -493,19 +452,7 @@ func (r *runner) fail(err error) {
 func (r *runner) popShard(si int) *ptg.Instance {
 	s := &r.shards[si]
 	s.mu.Lock()
-	var in *ptg.Instance
-	var left int
-	if r.cfg.Queues == SharedQueue && r.cfg.Policy == LIFOOrder {
-		if n := len(s.stack); n > 0 {
-			in = s.stack[n-1]
-			s.stack[n-1] = nil
-			s.stack = s.stack[:n-1]
-			left = n - 1
-		}
-	} else if len(s.heap) > 0 {
-		in = heap.Pop(&s.heap).(*ptg.Instance)
-		left = len(s.heap)
-	}
+	in, left := s.q.Pop()
 	if in != nil && left == 0 {
 		s.size.Store(0) // nonempty -> empty flip
 	}
@@ -513,34 +460,37 @@ func (r *runner) popShard(si int) *ptg.Instance {
 	return in
 }
 
-// steal probes victims in a randomized order, locking only one victim
-// shard at a time, and takes that victim's best task (PaRSEC steals
-// ready work rather than rebalancing whole queues, §IV-D).
+// steal probes victims in the core's randomized order, locking only one
+// victim shard at a time, and takes that victim's best task (PaRSEC
+// steals ready work rather than rebalancing whole queues, §IV-D).
 func (r *runner) steal(id int) *ptg.Instance {
 	ws := &r.ws[id]
-	n := len(r.shards)
-	start := int(ws.nextRand() % uint64(n))
-	for i := 0; i < n; i++ {
-		v := (start + i) % n
-		if v == id || r.shards[v].size.Load() == 0 {
-			continue
+	var got *ptg.Instance
+	sched.EachVictim(&ws.rng, id, len(r.shards), func(v int) bool {
+		if r.shards[v].size.Load() == 0 {
+			return false
 		}
 		ws.probes++
 		if in := r.popShard(v); in != nil {
 			ws.steals++
-			return in
+			got = in
+			r.observe(sched.OpSteal, id, v, in)
+			return true
 		}
-	}
-	return nil
+		return false
+	})
+	return got
 }
 
 // tryGet returns the next task for worker id: local pop first, then a
 // randomized steal when the mode allows it.
 func (r *runner) tryGet(id int) *ptg.Instance {
+	own := id
 	if r.cfg.Queues == SharedQueue {
-		return r.popShard(0)
+		own = 0
 	}
-	if in := r.popShard(id); in != nil {
+	if in := r.popShard(own); in != nil {
+		r.observe(sched.OpPop, id, own, in)
 		return in
 	}
 	if r.cfg.Queues == PerWorkerSteal {
@@ -567,6 +517,19 @@ func (r *runner) hasWork(id int) bool {
 	}
 	return false
 }
+
+// The runner is the scheduling core's substrate on real hardware: the
+// wall clock, and the park/unpark coordinator as the idle primitive.
+var _ sched.Substrate = (*runner)(nil)
+
+// Now returns nanoseconds since Run began (sched.Substrate).
+func (r *runner) Now() int64 { return int64(time.Since(r.start)) }
+
+// Idle parks the worker until an enqueuer wakes it (sched.Substrate).
+func (r *runner) Idle(worker int) { r.park(worker) }
+
+// Kick wakes a parked worker (sched.Substrate).
+func (r *runner) Kick(worker int) { r.wake(worker) }
 
 // park blocks worker id until an enqueuer wakes it or the run stops.
 // Publishing parked before the recheck closes the race with enqueue:
@@ -613,7 +576,7 @@ func (r *runner) work(id int) {
 		}
 		in := r.tryGet(id)
 		if in == nil {
-			r.park(id)
+			r.Idle(id)
 			continue
 		}
 		if err := r.tr.Start(in); err != nil {

@@ -1,0 +1,70 @@
+package sched
+
+import "container/heap"
+
+// Task is the minimal view the scheduling core needs of a schedulable
+// unit. ptg.Instance implements it for the PTG executors; dtd's
+// in-memory DAG nodes implement it for the Dynamic Task Discovery
+// engine.
+type Task interface {
+	// SchedPriority is the task's scheduling priority; higher runs
+	// first.
+	SchedPriority() int64
+	// SchedSeq is the task's deterministic creation ordinal (the
+	// instance sequence number for PTG tasks, the insertion index for
+	// DTD tasks); lower breaks priority ties.
+	SchedSeq() int
+}
+
+// Before reports whether a should run before b under the core's one
+// total order: descending priority, then ascending creation sequence.
+// Every ready queue, steal pick, and migratable-task choice in the repo
+// resolves ties through this function, so the simulator and the real
+// runtime cannot drift apart on tie-breaks; TestBeforeTotalOrder pins
+// the order.
+func Before[T Task](a, b T) bool {
+	if pa, pb := a.SchedPriority(), b.SchedPriority(); pa != pb {
+		return pa > pb
+	}
+	return a.SchedSeq() < b.SchedSeq()
+}
+
+// Heap is a priority heap ordered by Before: the heap's root is the
+// task that should run next. It implements container/heap.Interface;
+// callers can use PushTask/PopTask instead of the heap package.
+type Heap[T Task] []T
+
+// Len returns the number of queued tasks.
+func (h Heap[T]) Len() int { return len(h) }
+
+// Less orders the heap by Before.
+func (h Heap[T]) Less(i, j int) bool { return Before(h[i], h[j]) }
+
+// Swap exchanges two entries.
+func (h Heap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push appends an entry (container/heap protocol; use PushTask).
+func (h *Heap[T]) Push(x any) { *h = append(*h, x.(T)) }
+
+// Pop removes the last entry (container/heap protocol; use PopTask).
+func (h *Heap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	var zero T
+	old[n-1] = zero // drop the reference for the garbage collector
+	*h = old[:n-1]
+	return x
+}
+
+// PushTask adds a task, restoring heap order.
+func (h *Heap[T]) PushTask(t T) { heap.Push(h, t) }
+
+// PopTask removes and returns the Before-best task. The heap must be
+// nonempty.
+func (h *Heap[T]) PopTask() T { return heap.Pop(h).(T) }
+
+// RemoveAt removes and returns the task at heap index i, restoring heap
+// order (for pickers that choose a victim by scanning, like the
+// migratable-task steal).
+func (h *Heap[T]) RemoveAt(i int) T { return heap.Remove(h, i).(T) }

@@ -1,0 +1,50 @@
+package sched
+
+// RNG is the xorshift64 stream a worker draws steal-probe randomness
+// from. It is deliberately tiny and deterministic: given the same
+// worker index and the same draw count, every substrate reproduces the
+// same probe order, which is what lets the conformance suite replay the
+// real runtime's victim choices under a scripted substrate.
+type RNG uint64
+
+// NewRNG returns worker w's generator, seeded exactly as the sharded
+// runtime has seeded its per-worker streams since PR 1
+// (w*0x9E3779B97F4A7C15 + 1), so historical schedules remain
+// reproducible.
+func NewRNG(w int) RNG {
+	return RNG(uint64(w)*0x9E3779B97F4A7C15 + 1)
+}
+
+// Next advances the stream and returns the next draw.
+func (r *RNG) Next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = RNG(x)
+	return x
+}
+
+// EachVictim visits the potential steal victims of worker self among n
+// queues in a randomized probe order — one rng draw selects the start,
+// then probing proceeds cyclically, skipping self — stopping early when
+// visit returns true. It reports whether any visit did. This is the
+// real runtime's victim selection (PaRSEC's randomized steal, §IV-D):
+// probing one victim at a time means one lock held at a time, where the
+// simulator's StealBest can afford a global view.
+func EachVictim(rng *RNG, self, n int, visit func(v int) bool) bool {
+	if n <= 1 {
+		return false
+	}
+	start := int(rng.Next() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == self {
+			continue
+		}
+		if visit(v) {
+			return true
+		}
+	}
+	return false
+}

@@ -17,45 +17,55 @@
 // from each class's Cost function or a registered Behavior; payload sizes
 // for transfers come from FlowBytes. Everything else — which task runs
 // when, what messages fly where — is the real runtime logic driven by the
-// real tracker (internal/ptg).
+// real tracker (internal/ptg), with every scheduling decision taken from
+// the shared core (internal/sched) so the simulator provably schedules
+// what the real runtime ships.
 package simexec
 
 import (
-	"container/heap"
 	"fmt"
 
 	"parsec/internal/cluster"
 	"parsec/internal/ga"
+	"parsec/internal/metrics"
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/trace"
 )
 
-// Policy selects ready-task ordering, as in internal/runtime.
-type Policy int
+// Policy selects ready-task ordering.
+//
+// Deprecated: the type moved to the scheduling core; use sched.Policy.
+// The alias is kept one release so cmd/ccsim flags and external callers
+// keep compiling.
+type Policy = sched.Policy
 
-// The policies: priority order with creation-order ties, or LIFO
-// ignoring priorities (the v2 behavior of Fig 11).
+// The policies, re-exported from the scheduling core: priority order
+// with creation-order ties, or LIFO ignoring priorities (the v2
+// behavior of Fig 11).
 const (
-	PriorityOrder Policy = iota
-	LIFOOrder
+	PriorityOrder = sched.PriorityOrder
+	LIFOOrder     = sched.LIFOOrder
 )
 
 // QueueMode selects how ready tasks are distributed among a node's
 // workers — the §IV-D design point ("dynamic work stealing within each
 // node").
-type QueueMode int
+//
+// Deprecated: the type moved to the scheduling core; use
+// sched.QueueMode. The alias is kept one release so cmd/ccsim flags and
+// external callers keep compiling.
+type QueueMode = sched.QueueMode
 
+// The queue modes, re-exported from the scheduling core: one shared
+// per-node queue (the intra-node dynamic load balancing PaRSEC uses),
+// statically pinned per-worker queues, and pinned queues where an idle
+// worker steals the best ready task from a sibling.
 const (
-	// SharedQueue gives each node one ready queue drained by all its
-	// workers: the intra-node dynamic load balancing PaRSEC uses.
-	SharedQueue QueueMode = iota
-	// PerWorker statically assigns each ready task to one worker's
-	// private queue; idle workers do not steal (the ablation baseline).
-	PerWorker
-	// PerWorkerSteal assigns tasks as PerWorker but lets an idle worker
-	// steal the best ready task from a sibling's queue.
-	PerWorkerSteal
+	SharedQueue    = sched.SharedQueue
+	PerWorker      = sched.PerWorker
+	PerWorkerSteal = sched.PerWorkerSteal
 )
 
 // Payload is the simulated datum moved along graph edges.
@@ -145,6 +155,11 @@ type Config struct {
 	// node-resident state (GA handles, the node write mutex) that cannot
 	// migrate.
 	Migratable func(class string) bool
+	// SchedObserver, if non-nil, receives every scheduling decision
+	// (enqueue/pop/steal) with Event.Queue offset by the node's first
+	// flat worker index, mirroring runtime.Config.SchedObserver so the
+	// conformance suite can compare decisions across backends.
+	SchedObserver sched.Observer
 }
 
 // Result summarizes a simulated run.
@@ -216,15 +231,31 @@ func Run(g *ptg.Graph, m *cluster.Machine, gasim *ga.Sim, cfg Config) (Result, e
 		ga:    gasim,
 		cfg:   cfg,
 		nodes: make([]*nodeState, m.Cfg.Nodes),
+		procs: make([]*sim.Proc, m.Cfg.Nodes*cfg.CoresPerNode),
 		res:   Result{ByClass: make(map[string]int), BytesByClass: make(map[string]int64)},
 	}
+	nq := cfg.CoresPerNode // NewSet collapses to one queue in SharedQueue mode
 	for n := range ex.nodes {
+		n := n
 		ex.nodes[n] = &nodeState{
+			// The set's observer keeps the per-node ready-task counter
+			// track in the trace current: every enqueue/pop/steal
+			// reports the new depth. The external observer, if any, sees
+			// the same events with queue/worker indices flattened across
+			// nodes.
+			rq: sched.NewSet(nq, cfg.Policy, cfg.Queues, ex, func(e sched.Event) {
+				ex.sample("ready tasks", n, float64(e.Total))
+				if obs := cfg.SchedObserver; obs != nil {
+					base := n * cfg.CoresPerNode
+					e.Queue += base
+					if e.Worker >= 0 {
+						e.Worker += base
+					}
+					obs(e)
+				}
+			}),
 			workersIdle: sim.NewWaitQ(m.Eng),
 			commIdle:    sim.NewWaitQ(m.Eng),
-		}
-		if cfg.Queues != SharedQueue {
-			ex.nodes[n].perWorker = make([]taskHeap, cfg.CoresPerNode)
 		}
 	}
 	// Seed initial ready tasks.
@@ -264,15 +295,15 @@ type transfer struct {
 // nodeState is the per-node scheduler state. The DES runs one process at
 // a time, so no locking is needed.
 type nodeState struct {
-	readyHeap   taskHeap
-	readyStack  []*ptg.Instance
-	perWorker   []taskHeap // QueueMode PerWorker*: one heap per worker
+	// rq is this node's ready-queue set: the scheduling core decides
+	// pinning, pop order, and steal picks; the trace's ready-task
+	// counter rides its observer.
+	rq          *sched.Set
 	workersIdle *sim.WaitQ
 	commQ       []transfer
 	commIdle    *sim.WaitQ
-	// ready and commBytes mirror the queue depth and in-flight transfer
-	// volume for the counter tracks.
-	ready     int
+	// commBytes mirrors the in-flight transfer volume for the counter
+	// track.
 	commBytes int64
 }
 
@@ -282,29 +313,32 @@ type executor struct {
 	ga    *ga.Sim
 	cfg   Config
 	nodes []*nodeState
+	// procs registers each worker's simulated process by flat index
+	// (node*CoresPerNode+wid) so the substrate's idle primitive can park
+	// the caller on its node's wait queue.
+	procs []*sim.Proc
 	res   Result
 	done  bool
 	err   error
 }
 
-type taskHeap []*ptg.Instance
+// The executor is the scheduling core's substrate inside the DES: the
+// virtual clock, and the per-node wait queues as the idle primitive.
+var _ sched.Substrate = (*executor)(nil)
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority > h[j].Priority
-	}
-	return h[i].Seq < h[j].Seq
+// Now returns the current virtual time in nanoseconds (sched.Substrate).
+func (ex *executor) Now() int64 { return int64(ex.m.Eng.Now()) }
+
+// Idle suspends the calling worker's simulated process on its node's
+// wait queue until new work may be available (sched.Substrate).
+func (ex *executor) Idle(worker int) {
+	ex.nodes[worker/ex.cfg.CoresPerNode].workersIdle.Wait(ex.procs[worker])
 }
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*ptg.Instance)) }
-func (h *taskHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+
+// Kick wakes the workers parked on a worker's node (sched.Substrate;
+// the DES wait queue has no per-process wake, so a kick is node-wide).
+func (ex *executor) Kick(worker int) {
+	ex.nodes[worker/ex.cfg.CoresPerNode].workersIdle.WakeAll()
 }
 
 func (ex *executor) fail(err error) {
@@ -324,7 +358,8 @@ func (ex *executor) sample(name string, node int, v float64) {
 	})
 }
 
-// enqueue adds a ready task to its node's queue and wakes a worker.
+// enqueue adds a ready task to its home queue on its affinity node and
+// wakes a worker.
 func (ex *executor) enqueue(in *ptg.Instance) {
 	node := in.Node
 	if node < 0 || node >= len(ex.nodes) {
@@ -332,17 +367,7 @@ func (ex *executor) enqueue(in *ptg.Instance) {
 		return
 	}
 	ns := ex.nodes[node]
-	ns.ready++
-	ex.sample("ready tasks", node, float64(ns.ready))
-	switch {
-	case ex.cfg.Queues != SharedQueue:
-		w := in.Seq % len(ns.perWorker)
-		heap.Push(&ns.perWorker[w], in)
-	case ex.cfg.Policy == LIFOOrder:
-		ns.readyStack = append(ns.readyStack, in)
-	default:
-		heap.Push(&ns.readyHeap, in)
-	}
+	ns.rq.Push(in)
 	if ex.cfg.Queues == SharedQueue {
 		ns.workersIdle.WakeOne()
 	} else {
@@ -360,73 +385,24 @@ func (ex *executor) enqueue(in *ptg.Instance) {
 	}
 }
 
-// dequeueFor pops the next task for a specific worker, honoring the
-// queue mode (stealing from siblings when allowed).
+// dequeueFor pops the next task for a specific worker: its own queue
+// first, then — when the mode allows it — the core's best-head steal
+// from a sibling's queue.
 func (ex *executor) dequeueFor(node, wid int) *ptg.Instance {
-	in := ex.popFor(node, wid)
-	if in != nil {
-		ns := ex.nodes[node]
-		ns.ready--
-		ex.sample("ready tasks", node, float64(ns.ready))
-	}
-	return in
-}
-
-// popFor is dequeueFor without the counter bookkeeping.
-func (ex *executor) popFor(node, wid int) *ptg.Instance {
 	ns := ex.nodes[node]
-	if ex.cfg.Queues == SharedQueue {
-		return ex.dequeue(node)
-	}
-	if len(ns.perWorker[wid]) > 0 {
-		return heap.Pop(&ns.perWorker[wid]).(*ptg.Instance)
+	if in := ns.rq.Pop(wid); in != nil {
+		return in
 	}
 	if ex.cfg.Queues == PerWorkerSteal {
-		// Steal the highest-priority ready task among the siblings.
-		best := -1
-		for w := range ns.perWorker {
-			if len(ns.perWorker[w]) == 0 {
-				continue
-			}
-			if best < 0 || taskBefore(ns.perWorker[w][0], ns.perWorker[best][0]) {
-				best = w
-			}
-		}
-		if best >= 0 {
-			return heap.Pop(&ns.perWorker[best]).(*ptg.Instance)
-		}
-	}
-	return nil
-}
-
-// taskBefore reports whether a should run before b.
-func taskBefore(a, b *ptg.Instance) bool {
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	return a.Seq < b.Seq
-}
-
-func (ex *executor) dequeue(node int) *ptg.Instance {
-	ns := ex.nodes[node]
-	if ex.cfg.Policy == LIFOOrder {
-		if n := len(ns.readyStack); n > 0 {
-			in := ns.readyStack[n-1]
-			ns.readyStack[n-1] = nil
-			ns.readyStack = ns.readyStack[:n-1]
-			return in
-		}
-		return nil
-	}
-	if len(ns.readyHeap) > 0 {
-		return heap.Pop(&ns.readyHeap).(*ptg.Instance)
+		return ns.rq.StealBest(wid)
 	}
 	return nil
 }
 
 // worker is the main loop of one compute thread.
 func (ex *executor) worker(p *sim.Proc, node, wid int) {
-	ns := ex.nodes[node]
+	flat := node*ex.cfg.CoresPerNode + wid
+	ex.procs[flat] = p
 	for {
 		in := ex.dequeueFor(node, wid)
 		if in == nil && ex.cfg.InterNodeSteal {
@@ -439,7 +415,7 @@ func (ex *executor) worker(p *sim.Proc, node, wid int) {
 			if ex.done {
 				return
 			}
-			ns.workersIdle.Wait(p)
+			ex.Idle(flat)
 			continue
 		}
 		if err := ex.tr.Start(in); err != nil {
@@ -474,6 +450,7 @@ func (ex *executor) worker(p *sim.Proc, node, wid int) {
 // into one bounded data movement; the fault-free cost is nothing, since
 // workers only probe when they have no local work.
 func (ex *executor) stealRemote(p *sim.Proc, node, wid int) *ptg.Instance {
+	migratable := func(in *ptg.Instance) bool { return ex.cfg.Migratable(in.Ref.Class) }
 	victim := -1
 	for n, ns := range ex.nodes {
 		// Raid only genuinely backed-up victims: a node whose ready
@@ -481,23 +458,21 @@ func (ex *executor) stealRemote(p *sim.Proc, node, wid int) *ptg.Instance {
 		// migrating from it buys wire time for no queueing delay. The
 		// threshold also keeps fast nodes from churning tasks among
 		// themselves during uneven startup.
-		if n == node || ns.ready <= ex.cfg.CoresPerNode || (victim >= 0 && ns.ready <= ex.nodes[victim].ready) {
+		if n == node || ns.rq.Total() <= ex.cfg.CoresPerNode ||
+			(victim >= 0 && ns.rq.Total() <= ex.nodes[victim].rq.Total()) {
 			continue
 		}
-		if ex.findMigratable(ns) != nil {
+		if ns.rq.FindWhere(migratable) != nil {
 			victim = n
 		}
 	}
 	if victim < 0 {
 		return nil
 	}
-	vs := ex.nodes[victim]
-	in := ex.popMigratable(vs)
+	in := ex.nodes[victim].rq.PopWhere(migratable)
 	if in == nil {
 		return nil
 	}
-	vs.ready--
-	ex.sample("ready tasks", victim, float64(vs.ready))
 
 	var moved int64
 	for _, inp := range in.In {
@@ -517,43 +492,6 @@ func (ex *executor) stealRemote(p *sim.Proc, node, wid int) *ptg.Instance {
 		})
 	}
 	return in
-}
-
-// findMigratable returns a node's best queued migratable task without
-// removing it, or nil.
-func (ex *executor) findMigratable(ns *nodeState) *ptg.Instance {
-	var best *ptg.Instance
-	for w := range ns.perWorker {
-		for _, in := range ns.perWorker[w] {
-			if !ex.cfg.Migratable(in.Ref.Class) {
-				continue
-			}
-			if best == nil || taskBefore(in, best) {
-				best = in
-			}
-		}
-	}
-	return best
-}
-
-// popMigratable removes and returns a node's best queued migratable
-// task, or nil.
-func (ex *executor) popMigratable(ns *nodeState) *ptg.Instance {
-	bw, bi := -1, -1
-	for w := range ns.perWorker {
-		for i, in := range ns.perWorker[w] {
-			if !ex.cfg.Migratable(in.Ref.Class) {
-				continue
-			}
-			if bw < 0 || taskBefore(in, ns.perWorker[bw][bi]) {
-				bw, bi = w, i
-			}
-		}
-	}
-	if bw < 0 {
-		return nil
-	}
-	return heap.Remove(&ns.perWorker[bw], bi).(*ptg.Instance)
 }
 
 // execute charges the task's simulated duration.
@@ -695,7 +633,7 @@ func (ex *executor) send(p *sim.Proc, node int, t transfer) {
 		p.Hold(pol.Timeout)
 		if attempt > pol.MaxRetries {
 			ex.fail(fmt.Errorf("simexec: transfer %s -> node %d for %v lost %d times, retries exhausted",
-				formatBytes(t.payload.Bytes), t.del.To.Node, t.del.To.Ref, attempt))
+				metrics.FormatBytes(t.payload.Bytes), t.del.To.Node, t.del.To.Ref, attempt))
 			return
 		}
 		ex.res.Retries++
@@ -715,17 +653,6 @@ func (ex *executor) send(p *sim.Proc, node int, t transfer) {
 			Start: int64(start), End: int64(p.Now()),
 		})
 	}
-}
-
-// formatBytes renders a payload size compactly for error messages.
-func formatBytes(b int64) string {
-	if b >= 1e6 {
-		return fmt.Sprintf("%.1fMB", float64(b)/1e6)
-	}
-	if b >= 1e3 {
-		return fmt.Sprintf("%.1fkB", float64(b)/1e3)
-	}
-	return fmt.Sprintf("%dB", b)
 }
 
 // checkDone wakes every parked process once all tasks completed so the

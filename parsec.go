@@ -41,6 +41,7 @@ import (
 	"parsec/internal/molecule"
 	"parsec/internal/ptg"
 	"parsec/internal/runtime"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/simexec"
 	"parsec/internal/tce"
@@ -111,23 +112,28 @@ type RunConfig = runtime.Config
 // Report summarizes a shared-memory run.
 type Report = runtime.Report
 
+// Policy orders ready tasks: by descending priority (with creation
+// order breaking ties) or most-recently-enabled first. One definition
+// lives in internal/sched and is shared by every executor.
+type Policy = sched.Policy
+
 // Scheduling policies for ready tasks.
 const (
-	PriorityOrder = runtime.PriorityOrder
-	LIFOOrder     = runtime.LIFOOrder
+	PriorityOrder = sched.PriorityOrder
+	LIFOOrder     = sched.LIFOOrder
 )
 
 // QueueMode selects the ready-queue structure of the sharded scheduler:
 // one shared queue, statically pinned per-worker queues, or pinned
 // queues with randomized work stealing (PaRSEC's per-thread queues,
 // §IV-D).
-type QueueMode = runtime.QueueMode
+type QueueMode = sched.QueueMode
 
 // The ready-queue structures a RunConfig can select (see QueueMode).
 const (
-	SharedQueue    = runtime.SharedQueue
-	PerWorker      = runtime.PerWorker
-	PerWorkerSteal = runtime.PerWorkerSteal
+	SharedQueue    = sched.SharedQueue
+	PerWorker      = sched.PerWorker
+	PerWorkerSteal = sched.PerWorkerSteal
 )
 
 // SchedStats are the scheduler's internal counters for one run
