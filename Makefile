@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench lint fig9 traces profile faults sched-conformance examples clean
+.PHONY: all build vet test race bench lint fig9 traces profile faults sched-conformance netrun-conformance real-dist examples clean
 
 all: build vet test lint
 
@@ -44,10 +44,24 @@ profile:
 faults:
 	$(GO) run ./cmd/ccsim -faults
 
-# Scheduling-core conformance: the real runtime and the simulator must
-# take identical scheduling decisions (internal/sched/conformance_test.go).
+# Scheduling-core conformance: the real runtime, the simulator, and the
+# socket runtime must take identical scheduling decisions
+# (internal/sched/conformance_test.go).
 sched-conformance:
 	$(GO) test -race -run 'TestPopOrderEquivalence|TestSimexecDecisionsMatchShadowModel|TestStealVictimGolden|TestInterNodeStealInvariants' ./internal/sched
+
+# Distributed-runtime conformance: wire-codec round-trips, the in-process
+# socket backends, the multi-process benzene acceptance run, and the
+# kill/sever chaos run, all under the race detector, plus a short fuzz of
+# the frame decoder (internal/netrun).
+netrun-conformance:
+	$(GO) test -race -count=1 ./internal/netrun
+	$(GO) test -run FuzzDecodeFrame -fuzz FuzzDecodeFrame -fuzztime 15s ./internal/netrun
+
+# Multi-process distributed smoke: benzene with real arithmetic across 3
+# worker processes; energies must match the single-process runtime.
+real-dist:
+	$(GO) run ./cmd/ccsim -real-dist 3
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -28,8 +28,8 @@ import (
 	"parsec/internal/molecule"
 	"parsec/internal/ptg"
 	"parsec/internal/runtime"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
-	"parsec/internal/simexec"
 	"parsec/internal/tce"
 	"parsec/internal/tensor"
 	"parsec/internal/trace"
@@ -388,11 +388,11 @@ func BenchmarkAblationQueues(b *testing.B) {
 	spec, _ := ccsd.VariantByName("v5")
 	for _, mode := range []struct {
 		name string
-		q    simexec.QueueMode
+		q    sched.QueueMode
 	}{
-		{"shared", simexec.SharedQueue},
-		{"pinned", simexec.PerWorker},
-		{"pinned-steal", simexec.PerWorkerSteal},
+		{"shared", sched.SharedQueue},
+		{"pinned", sched.PerWorker},
+		{"pinned-steal", sched.PerWorkerSteal},
 	} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
@@ -416,11 +416,11 @@ var schedWorkerSweep = []int{1, 4, 8, 16}
 
 var schedQueueModes = []struct {
 	name string
-	q    runtime.QueueMode
+	q    sched.QueueMode
 }{
-	{"shared", runtime.SharedQueue},
-	{"pinned", runtime.PerWorker},
-	{"pinned-steal", runtime.PerWorkerSteal},
+	{"shared", sched.SharedQueue},
+	{"pinned", sched.PerWorker},
+	{"pinned-steal", sched.PerWorkerSteal},
 }
 
 // schedFanoutGraph builds a wide fan-out of independent spin tasks: one
@@ -493,7 +493,7 @@ func spinFor(d time.Duration) {
 
 // runSchedGraph executes one contention-benchmark graph and returns the
 // report; shared by the benchmarks and the CI smoke test.
-func runSchedGraph(g *ptg.Graph, workers int, q runtime.QueueMode) (runtime.Report, error) {
+func runSchedGraph(g *ptg.Graph, workers int, q sched.QueueMode) (runtime.Report, error) {
 	return runtime.Run(g, runtime.Config{Workers: workers, Queues: q})
 }
 

@@ -20,6 +20,12 @@
 // hiccups, printing recovery counters and slowdown attribution, checking
 // the re-dispatch recovery criterion and the perturbed real-runtime
 // energies, and writing docs/faults.json.
+//
+// -real-dist N switches to the distributed smoke run: the variants
+// execute with real arithmetic across N worker OS processes talking to
+// this process's Global Arrays coordinator over loopback sockets
+// (benzene by default), and each energy is checked against the
+// single-process shared-memory runtime to 1e-12.
 package main
 
 import (
@@ -34,12 +40,17 @@ import (
 	"parsec/internal/cluster"
 	"parsec/internal/metrics"
 	"parsec/internal/molecule"
+	"parsec/internal/netrun"
 	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/tce"
 )
 
 func main() {
+	// A process launched by -real-dist runs one worker rank and exits
+	// here; everything below is the launcher side.
+	netrun.MaybeWorkerMain()
+
 	preset := flag.String("preset", "betacarotene", "molecule preset: water, benzene, betacarotene")
 	nodes := flag.Int("nodes", 32, "number of nodes (paper: 32)")
 	coresList := flag.String("cores", "1,3,7,11,15", "comma-separated cores/node sweep (paper: 1,3,7,11,15)")
@@ -61,6 +72,8 @@ func main() {
 	faults := flag.Bool("faults", false, "run the seeded fault-injection sweep (stragglers, transfer loss, GA hiccups) across original/v2/v4 and check the recovery criterion")
 	faultsOut := flag.String("faultsout", "", "write the -faults results as JSON to this file (default docs/faults.json, or no file under -quick)")
 	faultCores := flag.Int("faultcores", 7, "cores/node for the -faults runs")
+	realDist := flag.Int("real-dist", 0, "run the variants with real arithmetic across N worker OS processes over loopback sockets and check each energy against the single-process runtime")
+	distWorkers := flag.Int("distworkers", 2, "worker goroutines per rank process for -real-dist")
 	flag.Parse()
 
 	// Validate the enumerated flags up front so a typo fails with the
@@ -114,6 +127,21 @@ func main() {
 		// communication signature (GET/ACC volumes, no dataflow deliveries).
 		*variants = "original,v2,v4"
 	}
+	if *realDist > 0 {
+		if !flagWasSet("preset") {
+			// Real arithmetic at beta-carotene scale is out of reach for a
+			// smoke-sized distributed run; benzene is the acceptance system.
+			*preset = "benzene"
+		}
+		if !flagWasSet("variants") {
+			*variants = "v2,v5"
+		}
+		if err := runRealDist(*preset, strings.Split(*variants, ","), *realDist, *distWorkers, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	sys, err := molecule.Preset(*preset)
 	if err != nil {
 		fatal(err)

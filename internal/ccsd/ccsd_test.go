@@ -10,7 +10,7 @@ import (
 	"parsec/internal/molecule"
 	"parsec/internal/ptg"
 	"parsec/internal/runtime"
-	"parsec/internal/simexec"
+	"parsec/internal/sched"
 	"parsec/internal/tce"
 	"parsec/internal/trace"
 )
@@ -110,7 +110,7 @@ func TestSegmentHeightAblationMatchesReference(t *testing.T) {
 func buildAndRunWithHeight(t *testing.T, w *tce.Workload, spec VariantSpec, h int) float64 {
 	t.Helper()
 	// RunReal with a custom segment height.
-	res, err := runRealWithOptions(w, spec, 4, h, runtime.SharedQueue)
+	res, err := runRealWithOptions(w, spec, 4, h, sched.SharedQueue)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +371,7 @@ func TestSimQueueModesSameTaskCounts(t *testing.T) {
 	sys := molecule.Water631G()
 	spec, _ := VariantByName("v4")
 	var counts []int
-	for _, q := range []simexec.QueueMode{simexec.SharedQueue, simexec.PerWorker, simexec.PerWorkerSteal} {
+	for _, q := range []sched.QueueMode{sched.SharedQueue, sched.PerWorker, sched.PerWorkerSteal} {
 		res, err := RunSim(sys, spec, simConfig(4, 4), SimRunConfig{CoresPerNode: 3, Queues: q})
 		if err != nil {
 			t.Fatal(err)

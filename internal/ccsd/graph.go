@@ -16,9 +16,10 @@ type Options struct {
 	// owning the Global Array blocks (§IV-B). Use 1 for shared memory.
 	Nodes int
 	// Store, when non-nil, attaches real task bodies operating on the
-	// Global Arrays store (for the goroutine runtime). When nil the graph
-	// carries only the simulation cost model.
-	Store *ga.Store
+	// Global Arrays surface (for the goroutine runtime and the socket
+	// runtime). When nil the graph carries only the simulation cost
+	// model.
+	Store ga.API
 	// SegmentHeight overrides the GEMM segment height; <= 0 selects the
 	// variant default (full chain for v1, height 1 otherwise). This is
 	// the locality/parallelism dial of §IV-A.

@@ -45,6 +45,19 @@ func (d Distribution) Owner(tensorName string, key tensor.BlockKey) int {
 	return int(h % uint64(d.Nodes))
 }
 
+// API is the Global Arrays surface task bodies are written against: the
+// zero-copy local read (ga_access), the copying fetch (GET_HASH_BLOCK),
+// and the ordered accumulate that keeps results bitwise deterministic.
+// Store implements it in one address space; internal/netrun implements
+// it over sockets, reading inputs from a rank-local replica and shipping
+// accumulations to the GA server process. Graph builders take an API so
+// the same task bodies drive both.
+type API interface {
+	Access(name string, key tensor.BlockKey) *tensor.Tile4
+	GetHashBlock(name string, key tensor.BlockKey) *tensor.Tile4
+	AccOrdered(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, tag, lo, hi int) error
+}
+
 // Store is the real, shared-memory Global Arrays implementation: named
 // block tensors plus a shared counter. All methods are safe for
 // concurrent use.
@@ -66,6 +79,8 @@ type orderedAcc struct {
 	scale  float64
 	src    *tensor.Tile4
 }
+
+var _ API = (*Store)(nil)
 
 // NewStore returns a store distributed (logically) over the given number
 // of nodes. The node count only affects Owner queries; data lives in one

@@ -1,0 +1,180 @@
+package netrun
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsec/internal/ga"
+	"parsec/internal/tce"
+	"parsec/internal/tensor"
+)
+
+// gaClient is a rank's Global Arrays surface (ga.API) in the
+// distributed runtime. Reads of the immutable input tensors never touch
+// the wire: the inputs are a pure function of the workload seed, so
+// each rank fills a local replica block on first access (deterministic
+// input replication — the bytes are identical on every rank, and
+// 118 MB of benzene inputs never cross a socket). Accumulations and
+// fetches of anything else go to the GA server process.
+type gaClient struct {
+	tp      *transport
+	w       *tce.Workload
+	timeout time.Duration
+
+	// refs maps (tensor, key) to the block's full reference for every
+	// input block the workload touches; replicas holds the lazily filled
+	// local copies.
+	refs     map[string]map[tensor.BlockKey]tce.BlockRef
+	mu       sync.Mutex
+	replicas map[string]*tensor.BlockTensor4
+
+	reqID   atomic.Uint64
+	pendMu  sync.Mutex
+	pendGet map[uint64]chan *tensor.Tile4
+	pendNxt map[uint64]chan int64
+}
+
+var _ ga.API = (*gaClient)(nil)
+
+func newGAClient(tp *transport, w *tce.Workload, timeout time.Duration) *gaClient {
+	c := &gaClient{
+		tp:       tp,
+		w:        w,
+		timeout:  timeout,
+		refs:     make(map[string]map[tensor.BlockKey]tce.BlockRef),
+		replicas: make(map[string]*tensor.BlockTensor4),
+		pendGet:  make(map[uint64]chan *tensor.Tile4),
+		pendNxt:  make(map[uint64]chan int64),
+	}
+	aName, bName := w.InputTensors()
+	for _, name := range []string{aName, bName} {
+		m := make(map[tensor.BlockKey]tce.BlockRef)
+		for _, ref := range w.UniqueBlocks(name) {
+			m[ref.Key] = ref
+		}
+		c.refs[name] = m
+		c.replicas[name] = tensor.NewBlockTensor4()
+	}
+	return c
+}
+
+// Access returns a direct reference to an input block's local replica,
+// filling it on first use (ga_access; §IV-B's zero-copy read, with the
+// owning node replaced by the deterministic replica).
+func (c *gaClient) Access(name string, key tensor.BlockKey) *tensor.Tile4 {
+	refs, ok := c.refs[name]
+	if !ok {
+		panic(fmt.Sprintf("netrun: Access(%q): not an input tensor; distributed reads use GetHashBlock", name))
+	}
+	ref, ok := refs[key]
+	if !ok {
+		panic(fmt.Sprintf("netrun: Access(%q, %v): block not in workload", name, key))
+	}
+	bt := c.replicas[name]
+	if t, ok := bt.Tile(key); ok {
+		return t
+	}
+	// Fill outside the tensor's lock, publish under it: two racing
+	// fillers produce identical bytes, so last-write-wins is safe.
+	t := tensor.NewTile4(ref.Dims[0], ref.Dims[1], ref.Dims[2], ref.Dims[3])
+	c.w.FillBlock(ref, t)
+	c.mu.Lock()
+	if prev, ok := bt.Tile(key); ok {
+		t = prev
+	} else {
+		bt.Put(key, t)
+	}
+	c.mu.Unlock()
+	return t
+}
+
+// GetHashBlock fetches a copy of a block: input tensors from the local
+// replica, everything else from the GA server (GET_HASH_BLOCK). A nil
+// return means the server does not hold the block (or the request timed
+// out during shutdown).
+func (c *gaClient) GetHashBlock(name string, key tensor.BlockKey) *tensor.Tile4 {
+	if _, ok := c.refs[name]; ok {
+		return c.Access(name, key).Clone()
+	}
+	id := c.reqID.Add(1)
+	ch := make(chan *tensor.Tile4, 1)
+	c.pendMu.Lock()
+	c.pendGet[id] = ch
+	c.pendMu.Unlock()
+	body := getMsg{ReqID: id, Name: name, Key: key}.encode()
+	c.tp.counters.getOps.Add(1)
+	c.tp.sendTo(coordRank, msgGetReq, body)
+	select {
+	case t := <-ch:
+		if t != nil {
+			c.tp.counters.getBytes.Add(t.Bytes())
+		}
+		return t
+	case <-time.After(c.timeout):
+		c.pendMu.Lock()
+		delete(c.pendGet, id)
+		c.pendMu.Unlock()
+		return nil
+	}
+}
+
+// AccOrdered ships one ordered accumulation to the GA server. The tile
+// is copied onto the wire immediately, so the no-mutation-after-call
+// contract of ga.Store applies only until this returns.
+func (c *gaClient) AccOrdered(name string, key tensor.BlockKey, src *tensor.Tile4, scale float64, tag, lo, hi int) error {
+	if lo < 0 || hi > src.Len() || lo > hi {
+		return fmt.Errorf("netrun: AccOrdered [%d,%d) of %d elements", lo, hi, src.Len())
+	}
+	body, err := (accOrderedMsg{Name: name, Key: key, Tag: tag, Lo: lo, Hi: hi, Scale: scale, Tile: src}).encode()
+	if err != nil {
+		return err
+	}
+	c.tp.counters.accOps.Add(1)
+	c.tp.counters.accBytes.Add(int64(len(body)))
+	c.tp.sendTo(coordRank, msgAccOrdered, body)
+	return nil
+}
+
+// NxtVal fetches one ticket from the server's shared counter (NXTVAL).
+// It returns -1 if the server does not answer within the timeout.
+func (c *gaClient) NxtVal() int64 {
+	id := c.reqID.Add(1)
+	ch := make(chan int64, 1)
+	c.pendMu.Lock()
+	c.pendNxt[id] = ch
+	c.pendMu.Unlock()
+	c.tp.sendTo(coordRank, msgNxtValReq, nxtValMsg{ReqID: id}.encode())
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(c.timeout):
+		c.pendMu.Lock()
+		delete(c.pendNxt, id)
+		c.pendMu.Unlock()
+		return -1
+	}
+}
+
+// handleGetResp completes a pending GetHashBlock.
+func (c *gaClient) handleGetResp(m getRespMsg) {
+	c.pendMu.Lock()
+	ch := c.pendGet[m.ReqID]
+	delete(c.pendGet, m.ReqID)
+	c.pendMu.Unlock()
+	if ch != nil {
+		ch <- m.Tile
+	}
+}
+
+// handleNxtValResp completes a pending NxtVal.
+func (c *gaClient) handleNxtValResp(m nxtValRespMsg) {
+	c.pendMu.Lock()
+	ch := c.pendNxt[m.ReqID]
+	delete(c.pendNxt, m.ReqID)
+	c.pendMu.Unlock()
+	if ch != nil {
+		ch <- m.Val
+	}
+}

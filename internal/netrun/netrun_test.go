@@ -1,0 +1,263 @@
+package netrun
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"parsec/internal/ccsd"
+	"parsec/internal/fault"
+	"parsec/internal/molecule"
+	"parsec/internal/ptg"
+	"parsec/internal/sched"
+	"parsec/internal/tce"
+)
+
+const energyTol = 1e-12
+
+// waterRef computes the single-process reference energy for a variant.
+func waterRef(t *testing.T, variant string) float64 {
+	t.Helper()
+	w := tce.Inspect(tce.T2_7(molecule.Water631G()), nil)
+	spec, err := ccsd.VariantByName(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ccsd.RunReal(w, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Energy
+}
+
+func jobFor(variant string) JobSpec {
+	return JobSpec{Preset: "water", Variant: variant}
+}
+
+func cfgFor(t *testing.T, spec JobSpec, ranks, workers int) Config {
+	t.Helper()
+	pol, err := spec.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Ranks:    ranks,
+		Workers:  workers,
+		Policy:   pol,
+		Queues:   sched.SharedQueue,
+		Deadline: 90 * time.Second,
+	}
+}
+
+func checkEnergy(t *testing.T, res *Result, want float64) {
+	t.Helper()
+	if !res.HasEnergy {
+		t.Fatal("result has no energy")
+	}
+	if d := math.Abs(res.Energy - want); d > energyTol {
+		t.Fatalf("energy %.15f, want %.15f (|diff| %.3e > %g)", res.Energy, want, d, energyTol)
+	}
+}
+
+// TestRunMatchesSingleProcess runs every CCSD variant across two ranks
+// over real sockets and demands the single-process energy to 1e-12:
+// distribution must change where work runs, never what it computes.
+func TestRunMatchesSingleProcess(t *testing.T) {
+	for _, vs := range ccsd.Variants() {
+		vs := vs
+		t.Run(vs.Name, func(t *testing.T) {
+			t.Parallel()
+			want := waterRef(t, vs.Name)
+			spec := jobFor(vs.Name)
+			res, err := Run(cfgFor(t, spec, 2, 2), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEnergy(t, res, want)
+			if res.Takeovers != 0 {
+				t.Fatalf("unexpected takeovers: %d", res.Takeovers)
+			}
+		})
+	}
+}
+
+// TestRunUnixSockets exercises the unix-domain transport.
+func TestRunUnixSockets(t *testing.T) {
+	want := waterRef(t, "v2")
+	spec := jobFor("v2")
+	cfg := cfgFor(t, spec, 2, 1)
+	cfg.Network = "unix"
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergy(t, res, want)
+}
+
+// TestRunThreeRanksPerWorkerSteal runs three ranks with the stealing
+// queue mode inside each rank.
+func TestRunThreeRanksPerWorkerSteal(t *testing.T) {
+	want := waterRef(t, "v5")
+	spec := jobFor("v5")
+	cfg := cfgFor(t, spec, 3, 2)
+	cfg.Queues = sched.PerWorkerSteal
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergy(t, res, want)
+	if res.Tasks == 0 || res.Ranks != 3 {
+		t.Fatalf("result %d tasks across %d ranks", res.Tasks, res.Ranks)
+	}
+}
+
+// TestRunWithDropsAndAckDrops injects seeded payload and ack drops on
+// every rank's outbound links: the retry machinery must recover every
+// loss, duplicate suppression must absorb every retransmit, and the
+// energy must not move.
+func TestRunWithDropsAndAckDrops(t *testing.T) {
+	want := waterRef(t, "v2")
+	spec := jobFor("v2")
+	cfg := cfgFor(t, spec, 2, 2)
+	cfg.Fault = &fault.Config{Seed: 42, DropProb: 0.05, AckDropProb: 0.05}
+	// Keep retries snappy so the injected drops don't stretch the test.
+	cfg.Retry = RetryPolicy{Timeout: 30 * time.Millisecond, Backoff: 10 * time.Millisecond,
+		BackoffCap: 80 * time.Millisecond, MaxRetries: 40}
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergy(t, res, want)
+	if res.Recovery.Drops == 0 {
+		t.Error("no payload drops injected at 5% probability")
+	}
+	if res.Recovery.Retries == 0 {
+		t.Error("drops injected but no retransmissions recorded")
+	}
+	if res.Recovery.AckDrops > 0 && res.Recovery.DupSuppressed == 0 {
+		t.Error("ack drops injected but no duplicate suppressed")
+	}
+}
+
+// TestRunWithSeveredLink closes one inter-rank connection mid-run; the
+// sender must reconnect, retransmit its window, and finish correctly.
+func TestRunWithSeveredLink(t *testing.T) {
+	want := waterRef(t, "v2")
+	spec := jobFor("v2")
+	cfg := cfgFor(t, spec, 2, 2)
+	cfg.Sever = &SeverSpec{From: 0, To: 1, AfterFrames: 5}
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergy(t, res, want)
+	var severs int64
+	for _, rep := range res.PerRank {
+		severs += rep.Comm.Severs
+	}
+	if severs == 0 {
+		t.Error("sever configured but never triggered")
+	}
+}
+
+// TestInterNodeStealRedispatch makes rank 1 a straggler on GEMMs and
+// lets inter-node stealing re-dispatch its backlog to rank 0. The steal
+// must actually fire, and the energy must not move.
+func TestInterNodeStealRedispatch(t *testing.T) {
+	want := waterRef(t, "v2")
+	spec := jobFor("v2")
+	// DFILL dominates the straggler's ready backlog (priorities drain
+	// reads and GEMMs first), so it must be migratable for steals to
+	// find work; GEMM migration additionally exercises payload shipping.
+	spec.MigratableClasses = []string{"DFILL", "GEMM"}
+	cfg := cfgFor(t, spec, 2, 1)
+	cfg.InterNodeSteal = true
+	cfg.TaskDelay = func(rank, worker int, ref ptg.TaskRef) time.Duration {
+		if rank == 1 {
+			return 2 * time.Millisecond
+		}
+		return 0
+	}
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergy(t, res, want)
+	if res.Recovery.Redispatches == 0 {
+		t.Error("straggling rank never re-dispatched work")
+	}
+	var adopted int
+	for _, rep := range res.PerRank {
+		adopted += rep.Adopted
+	}
+	if adopted == 0 {
+		t.Error("redispatches recorded but nothing adopted")
+	}
+}
+
+// TestRunGraphGeneric drives a plain dependency chain (no GA surface,
+// no energy) through the socket runtime.
+func TestRunGraphGeneric(t *testing.T) {
+	const chains, length, ranks = 6, 4, 3
+	const n = chains * length
+	build := func(rank int) (*ptg.Graph, error) {
+		g := ptg.NewGraph("conf-chains")
+		step := g.Class("STEP")
+		step.Domain = func(emit func(ptg.Args)) {
+			for ci := 0; ci < chains; ci++ {
+				for s := 0; s < length; s++ {
+					emit(ptg.A2(ci, s))
+				}
+			}
+		}
+		step.Affinity = func(a ptg.Args) int { return a[0] % ranks }
+		step.AddFlow("D", ptg.RW).
+			InNew(func(a ptg.Args) bool { return a[1] == 0 }, func(a ptg.Args) int64 { return 8 }).
+			In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "STEP", Args: ptg.A2(a[0], a[1]-1)}, "D"
+			}).
+			Out(func(a ptg.Args) bool { return a[1] < length-1 }, func(a ptg.Args) (ptg.TaskRef, string) {
+				return ptg.TaskRef{Class: "STEP", Args: ptg.A2(a[0], a[1]+1)}, "D"
+			})
+		return g, nil
+	}
+	res, err := RunGraph(Config{Ranks: ranks, Workers: 1, Policy: sched.LIFOOrder,
+		Deadline: 30 * time.Second}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasEnergy {
+		t.Error("generic graph should have no energy")
+	}
+	if res.Tasks != n {
+		t.Fatalf("completed %d tasks, want %d", res.Tasks, n)
+	}
+	var total int
+	for _, rep := range res.PerRank {
+		total += rep.Tasks
+	}
+	if total != n {
+		t.Fatalf("per-rank task counts sum to %d, want %d", total, n)
+	}
+}
+
+// TestResultProfile checks the observability hookup end to end: the
+// distributed result must feed the same profile pipeline as the
+// simulator and the shared-memory runtime.
+func TestResultProfile(t *testing.T) {
+	spec := jobFor("v2")
+	res, err := Run(cfgFor(t, spec, 2, 2), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.AccOps == 0 {
+		t.Error("no accumulate traffic recorded")
+	}
+	if res.Trace == nil || len(res.Trace.Events()) == 0 {
+		t.Fatal("no trace events aggregated")
+	}
+	p := res.Profile("netrun water v2")
+	if rep := p.Report(8); rep == nil {
+		t.Error("nil profile report")
+	}
+}

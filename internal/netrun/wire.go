@@ -1,0 +1,701 @@
+package netrun
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"parsec/internal/ptg"
+	"parsec/internal/tensor"
+)
+
+// Wire protocol: every frame is
+//
+//	magic(2) version(1) type(1) id(8, LE) bodyLen(4, LE) body
+//
+// The id is the sender-assigned reliability sequence number acknowledged
+// by msgAck frames; control frames that need no ack carry id 0. Frames
+// are self-delimiting, so a stream reader never needs lookahead, and a
+// decoder must reject malformed input (bad magic, unknown version,
+// oversized length, truncated body) with an error, never a panic — the
+// fuzz target in wire_test.go holds it to that.
+
+const (
+	wireMagic0  = 'P'
+	wireMagic1  = 'R' // "PaRSEC reproduction"
+	wireVersion = 1
+
+	frameHeaderLen = 2 + 1 + 1 + 8 + 4
+	// maxBody caps a frame body: the largest legitimate payload is one
+	// beta-carotene-scale tile (a few MB), so 256 MiB is generous and
+	// still bounds what a corrupt length prefix can make a reader
+	// allocate.
+	maxBody = 256 << 20
+
+	// ackSuppressBit set in the type byte asks the receiver to process
+	// the frame but drop its acknowledgment: the sender-side fault
+	// injector uses it to emulate a lost ack with a single seeded RNG
+	// stream, forcing a retransmission the receiver must dedup.
+	ackSuppressBit = 0x80
+	typeMask       = 0x7f
+)
+
+// Message types.
+const (
+	msgHello byte = iota + 1
+	msgAck
+	msgRegister
+	msgWelcome
+	msgActivate
+	msgDone
+	msgStatus
+	msgAccOrdered
+	msgGetReq
+	msgGetResp
+	msgNxtValReq
+	msgNxtValResp
+	msgStealReq
+	msgStealProbe
+	msgStealNone
+	msgMigrate
+	msgTakeover
+	msgFlushReq
+	msgFlushAck
+	msgDoneInfo
+	msgShutdown
+	msgError
+	msgMax // one past the last valid type
+)
+
+var (
+	errBadMagic   = errors.New("netrun: bad frame magic")
+	errBadVersion = errors.New("netrun: unsupported protocol version")
+	errBadType    = errors.New("netrun: unknown message type")
+	errOversized  = errors.New("netrun: frame body exceeds limit")
+)
+
+// frame is one decoded wire frame.
+type frame struct {
+	typ         byte
+	id          uint64
+	suppressAck bool
+	body        []byte
+}
+
+// appendFrame appends the encoded frame to dst and returns it.
+func appendFrame(dst []byte, typ byte, id uint64, suppressAck bool, body []byte) []byte {
+	t := typ
+	if suppressAck {
+		t |= ackSuppressBit
+	}
+	dst = append(dst, wireMagic0, wireMagic1, wireVersion, t)
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// decodeFrame parses one frame from the front of buf, returning the
+// frame and the number of bytes consumed. It returns (zero, 0, nil)
+// when buf holds only a partial frame, and an error for any malformed
+// prefix.
+func decodeFrame(buf []byte) (frame, int, error) {
+	if len(buf) < frameHeaderLen {
+		return frame{}, 0, nil
+	}
+	if buf[0] != wireMagic0 || buf[1] != wireMagic1 {
+		return frame{}, 0, errBadMagic
+	}
+	if buf[2] != wireVersion {
+		return frame{}, 0, fmt.Errorf("%w: %d", errBadVersion, buf[2])
+	}
+	t := buf[3]
+	typ := t & typeMask
+	if typ == 0 || typ >= msgMax {
+		return frame{}, 0, fmt.Errorf("%w: %d", errBadType, typ)
+	}
+	id := binary.LittleEndian.Uint64(buf[4:])
+	n := binary.LittleEndian.Uint32(buf[12:])
+	if n > maxBody {
+		return frame{}, 0, fmt.Errorf("%w: %d", errOversized, n)
+	}
+	total := frameHeaderLen + int(n)
+	if len(buf) < total {
+		return frame{}, 0, nil
+	}
+	return frame{
+		typ:         typ,
+		id:          id,
+		suppressAck: t&ackSuppressBit != 0,
+		body:        buf[frameHeaderLen:total],
+	}, total, nil
+}
+
+// readFrame reads exactly one frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	f, n, err := decodeFrame(hdr[:])
+	if err != nil {
+		return frame{}, err
+	}
+	if n == 0 {
+		// Header parsed clean but the body is pending.
+		bodyLen := binary.LittleEndian.Uint32(hdr[12:])
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return frame{}, err
+		}
+		full := append(hdr[:], body...)
+		f, _, err = decodeFrame(full)
+		if err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// ---- body encoding primitives ----
+//
+// Bodies are concatenations of fixed-width little-endian integers,
+// IEEE float64 bits, and u32-length-prefixed byte strings. Decoders
+// consume via a cursor that records the first error and returns zero
+// values afterwards, so message decoders stay linear and cannot panic
+// on truncated input.
+
+func appendU32(dst []byte, v uint32) []byte  { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte  { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte   { return appendU64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) }
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+type cursor struct {
+	buf []byte
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = errors.New("netrun: truncated message body")
+	}
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || len(c.buf) < 4 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.buf)
+	c.buf = c.buf[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || len(c.buf) < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.buf)
+	c.buf = c.buf[8:]
+	return v
+}
+
+func (c *cursor) i64() int64   { return int64(c.u64()) }
+func (c *cursor) int() int     { return int(c.i64()) }
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) str() string {
+	n := c.u32()
+	if c.err != nil || uint64(n) > uint64(len(c.buf)) {
+		c.fail()
+		return ""
+	}
+	s := string(c.buf[:n])
+	c.buf = c.buf[n:]
+	return s
+}
+
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	if c.err != nil || uint64(n) > uint64(len(c.buf)) {
+		c.fail()
+		return nil
+	}
+	b := c.buf[:n:n]
+	c.buf = c.buf[n:]
+	return b
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.buf) != 0 {
+		return fmt.Errorf("netrun: %d trailing bytes in message body", len(c.buf))
+	}
+	return nil
+}
+
+// ---- payload encoding ----
+//
+// Task-sourced flow payloads are one of a small closed set of Go values
+// (see ptg bodies): nil, *tensor.Tile4, ptg.NewBuffer, int, float64.
+
+const (
+	payNil byte = iota
+	payTile
+	payNewBuffer
+	payInt
+	payFloat
+)
+
+func appendPayload(dst []byte, p any) ([]byte, error) {
+	switch v := p.(type) {
+	case nil:
+		return append(dst, payNil), nil
+	case *tensor.Tile4:
+		if v == nil { // a typed nil would otherwise masquerade as a tile
+			return dst, errors.New("netrun: cannot encode nil tile payload")
+		}
+		dst = append(dst, payTile)
+		for _, d := range v.Dim {
+			dst = appendI64(dst, int64(d))
+		}
+		dst = appendU32(dst, uint32(len(v.Data)))
+		for _, x := range v.Data {
+			dst = appendF64(dst, x)
+		}
+		return dst, nil
+	case ptg.NewBuffer:
+		dst = append(dst, payNewBuffer)
+		return appendI64(dst, v.Bytes), nil
+	case int:
+		dst = append(dst, payInt)
+		return appendI64(dst, int64(v)), nil
+	case float64:
+		dst = append(dst, payFloat)
+		return appendF64(dst, v), nil
+	default:
+		return dst, fmt.Errorf("netrun: cannot encode payload of type %T", p)
+	}
+}
+
+func decodePayload(c *cursor) any {
+	if c.err != nil || len(c.buf) < 1 {
+		c.fail()
+		return nil
+	}
+	kind := c.buf[0]
+	c.buf = c.buf[1:]
+	switch kind {
+	case payNil:
+		return nil
+	case payTile:
+		var dim [4]int
+		for i := range dim {
+			dim[i] = c.int()
+		}
+		n := c.u32()
+		if c.err != nil || uint64(n) > uint64(len(c.buf)/8) || int(n) != dim[0]*dim[1]*dim[2]*dim[3] {
+			c.fail()
+			return nil
+		}
+		t := &tensor.Tile4{Dim: dim, Data: make([]float64, n)}
+		for i := range t.Data {
+			t.Data[i] = c.f64()
+		}
+		return t
+	case payNewBuffer:
+		return ptg.NewBuffer{Bytes: c.i64()}
+	case payInt:
+		return int(c.i64())
+	case payFloat:
+		return c.f64()
+	default:
+		c.fail()
+		return nil
+	}
+}
+
+// ---- message bodies ----
+
+// helloMsg opens every outbound connection, naming the sender.
+type helloMsg struct{ From int }
+
+func (m helloMsg) encode() []byte { return appendI64(nil, int64(m.From)) }
+
+func decodeHello(b []byte) (helloMsg, error) {
+	c := &cursor{buf: b}
+	m := helloMsg{From: c.int()}
+	return m, c.done()
+}
+
+// registerMsg announces a worker's rank and listen address to the
+// coordinator.
+type registerMsg struct {
+	Rank int
+	Addr string
+}
+
+func (m registerMsg) encode() []byte {
+	return appendString(appendI64(nil, int64(m.Rank)), m.Addr)
+}
+
+func decodeRegister(b []byte) (registerMsg, error) {
+	c := &cursor{buf: b}
+	m := registerMsg{Rank: c.int(), Addr: c.str()}
+	return m, c.done()
+}
+
+// welcomeMsg is the coordinator's go signal: the full peer address map.
+type welcomeMsg struct {
+	Ranks int
+	Addrs []string // indexed by rank
+}
+
+func (m welcomeMsg) encode() []byte {
+	dst := appendI64(nil, int64(m.Ranks))
+	dst = appendU32(dst, uint32(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		dst = appendString(dst, a)
+	}
+	return dst
+}
+
+func decodeWelcome(b []byte) (welcomeMsg, error) {
+	c := &cursor{buf: b}
+	m := welcomeMsg{Ranks: c.int()}
+	n := c.u32()
+	if uint64(n) > uint64(len(c.buf)) {
+		c.fail()
+		return m, c.done()
+	}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		m.Addrs = append(m.Addrs, c.str())
+	}
+	return m, c.done()
+}
+
+// activateMsg is the one-sided active message of the dataflow: "your
+// task toRef's input flow is satisfied with this payload". The receiver
+// counts it against its rank-local dependency tracker.
+type activateMsg struct {
+	Class   string
+	Args    ptg.Args
+	Flow    int
+	Payload any
+}
+
+func (m activateMsg) encode() ([]byte, error) {
+	dst := appendString(nil, m.Class)
+	for _, a := range m.Args {
+		dst = appendI64(dst, int64(a))
+	}
+	dst = appendI64(dst, int64(m.Flow))
+	return appendPayload(dst, m.Payload)
+}
+
+func decodeActivate(b []byte) (activateMsg, error) {
+	c := &cursor{buf: b}
+	m := activateMsg{Class: c.str()}
+	for i := range m.Args {
+		m.Args[i] = c.int()
+	}
+	m.Flow = c.int()
+	m.Payload = decodePayload(c)
+	return m, c.done()
+}
+
+// doneMsg reports a batch of completed instance sequence numbers to the
+// coordinator's termination bitset.
+type doneMsg struct{ Seqs []int }
+
+func (m doneMsg) encode() []byte {
+	dst := appendU32(nil, uint32(len(m.Seqs)))
+	for _, s := range m.Seqs {
+		dst = appendI64(dst, int64(s))
+	}
+	return dst
+}
+
+func decodeDone(b []byte) (doneMsg, error) {
+	c := &cursor{buf: b}
+	n := c.u32()
+	if uint64(n) > uint64(len(c.buf)/8) {
+		c.fail()
+		return doneMsg{}, c.done()
+	}
+	m := doneMsg{Seqs: make([]int, 0, n)}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		m.Seqs = append(m.Seqs, c.int())
+	}
+	return m, c.done()
+}
+
+// statusMsg is the worker heartbeat, carrying its ready-queue backlog
+// for the coordinator's steal brokering.
+type statusMsg struct{ Backlog int }
+
+func (m statusMsg) encode() []byte { return appendI64(nil, int64(m.Backlog)) }
+
+func decodeStatus(b []byte) (statusMsg, error) {
+	c := &cursor{buf: b}
+	m := statusMsg{Backlog: c.int()}
+	return m, c.done()
+}
+
+// flushAckMsg confirms a rank's outbound window is drained; Accs is the
+// number of distinct accumulation messages the rank has sent, so the
+// coordinator can also wait out any acc still inside a handler on a
+// dying connection before it closes the fold.
+type flushAckMsg struct{ Accs int64 }
+
+func (m flushAckMsg) encode() []byte { return appendI64(nil, m.Accs) }
+
+func decodeFlushAck(b []byte) (flushAckMsg, error) {
+	if len(b) == 0 { // legacy empty ack: no accs to wait for
+		return flushAckMsg{}, nil
+	}
+	c := &cursor{buf: b}
+	m := flushAckMsg{Accs: c.i64()}
+	return m, c.done()
+}
+
+// accOrderedMsg ships one ordered accumulation to the GA server.
+type accOrderedMsg struct {
+	Name        string
+	Key         tensor.BlockKey
+	Tag, Lo, Hi int
+	Scale       float64
+	Tile        *tensor.Tile4
+}
+
+func (m accOrderedMsg) encode() ([]byte, error) {
+	dst := appendString(nil, m.Name)
+	for _, k := range m.Key {
+		dst = appendI64(dst, int64(k))
+	}
+	dst = appendI64(dst, int64(m.Tag))
+	dst = appendI64(dst, int64(m.Lo))
+	dst = appendI64(dst, int64(m.Hi))
+	dst = appendF64(dst, m.Scale)
+	return appendPayload(dst, m.Tile)
+}
+
+func decodeAccOrdered(b []byte) (accOrderedMsg, error) {
+	c := &cursor{buf: b}
+	m := accOrderedMsg{Name: c.str()}
+	for i := range m.Key {
+		m.Key[i] = c.int()
+	}
+	m.Tag = c.int()
+	m.Lo = c.int()
+	m.Hi = c.int()
+	m.Scale = c.f64()
+	p := decodePayload(c)
+	if err := c.done(); err != nil {
+		return m, err
+	}
+	t, ok := p.(*tensor.Tile4)
+	if !ok {
+		return m, errors.New("netrun: AccOrdered payload is not a tile")
+	}
+	m.Tile = t
+	return m, nil
+}
+
+// getMsg requests a block copy from the GA server (GET_HASH_BLOCK).
+type getMsg struct {
+	ReqID uint64
+	Name  string
+	Key   tensor.BlockKey
+}
+
+func (m getMsg) encode() []byte {
+	dst := appendU64(nil, m.ReqID)
+	dst = appendString(dst, m.Name)
+	for _, k := range m.Key {
+		dst = appendI64(dst, int64(k))
+	}
+	return dst
+}
+
+func decodeGet(b []byte) (getMsg, error) {
+	c := &cursor{buf: b}
+	m := getMsg{ReqID: c.u64(), Name: c.str()}
+	for i := range m.Key {
+		m.Key[i] = c.int()
+	}
+	return m, c.done()
+}
+
+// getRespMsg answers a getMsg; a nil tile means the block is absent.
+type getRespMsg struct {
+	ReqID uint64
+	Tile  *tensor.Tile4
+}
+
+func (m getRespMsg) encode() ([]byte, error) {
+	dst := appendU64(nil, m.ReqID)
+	if m.Tile == nil {
+		return appendPayload(dst, nil)
+	}
+	return appendPayload(dst, m.Tile)
+}
+
+func decodeGetResp(b []byte) (getRespMsg, error) {
+	c := &cursor{buf: b}
+	m := getRespMsg{ReqID: c.u64()}
+	p := decodePayload(c)
+	if err := c.done(); err != nil {
+		return m, err
+	}
+	if p != nil {
+		t, ok := p.(*tensor.Tile4)
+		if !ok {
+			return m, errors.New("netrun: Get response payload is not a tile")
+		}
+		m.Tile = t
+	}
+	return m, nil
+}
+
+// nxtValMsg requests one NXTVAL ticket; nxtValRespMsg answers it.
+type nxtValMsg struct{ ReqID uint64 }
+
+func (m nxtValMsg) encode() []byte { return appendU64(nil, m.ReqID) }
+
+func decodeNxtVal(b []byte) (nxtValMsg, error) {
+	c := &cursor{buf: b}
+	m := nxtValMsg{ReqID: c.u64()}
+	return m, c.done()
+}
+
+type nxtValRespMsg struct {
+	ReqID uint64
+	Val   int64
+}
+
+func (m nxtValRespMsg) encode() []byte {
+	return appendI64(appendU64(nil, m.ReqID), m.Val)
+}
+
+func decodeNxtValResp(b []byte) (nxtValRespMsg, error) {
+	c := &cursor{buf: b}
+	m := nxtValRespMsg{ReqID: c.u64(), Val: c.i64()}
+	return m, c.done()
+}
+
+// stealMsg serves three message types that all name one thief rank:
+// msgStealReq (thief -> coordinator), msgStealProbe (coordinator ->
+// victim), and msgStealNone (victim -> coordinator).
+type stealMsg struct{ Thief int }
+
+func (m stealMsg) encode() []byte { return appendI64(nil, int64(m.Thief)) }
+
+func decodeSteal(b []byte) (stealMsg, error) {
+	c := &cursor{buf: b}
+	m := stealMsg{Thief: c.int()}
+	return m, c.done()
+}
+
+// migratePayload is one delivered task-sourced input shipped with a
+// migrated task.
+type migratePayload struct {
+	Flow    int
+	Payload any
+}
+
+// migrateMsg re-dispatches a ready task from a loaded victim to an idle
+// thief, carrying every already-delivered task-sourced input (data- and
+// new-sourced flows the thief reconstructs from its own tracker).
+type migrateMsg struct {
+	Class string
+	Args  ptg.Args
+	Ins   []migratePayload
+}
+
+func (m migrateMsg) encode() ([]byte, error) {
+	dst := appendString(nil, m.Class)
+	for _, a := range m.Args {
+		dst = appendI64(dst, int64(a))
+	}
+	dst = appendU32(dst, uint32(len(m.Ins)))
+	for _, in := range m.Ins {
+		dst = appendI64(dst, int64(in.Flow))
+		var err error
+		dst, err = appendPayload(dst, in.Payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeMigrate(b []byte) (migrateMsg, error) {
+	c := &cursor{buf: b}
+	m := migrateMsg{Class: c.str()}
+	for i := range m.Args {
+		m.Args[i] = c.int()
+	}
+	n := c.u32()
+	if uint64(n) > uint64(len(c.buf)) {
+		c.fail()
+		return m, c.done()
+	}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		mp := migratePayload{Flow: c.int()}
+		mp.Payload = decodePayload(c)
+		m.Ins = append(m.Ins, mp)
+	}
+	return m, c.done()
+}
+
+// takeoverMsg announces that a dead rank's subgraph is reassigned to an
+// heir: live ranks replay their retained activations to the heir and
+// re-route future traffic for the dead rank there.
+type takeoverMsg struct{ Dead, Heir int }
+
+func (m takeoverMsg) encode() []byte {
+	return appendI64(appendI64(nil, int64(m.Dead)), int64(m.Heir))
+}
+
+func decodeTakeover(b []byte) (takeoverMsg, error) {
+	c := &cursor{buf: b}
+	m := takeoverMsg{Dead: c.int(), Heir: c.int()}
+	return m, c.done()
+}
+
+// doneInfoMsg is a worker's final report: counters and trace events,
+// JSON-encoded (the schema is internal to one build, not a wire
+// contract, so JSON's flexibility beats hand-rolled encoding here).
+type doneInfoMsg struct{ JSON []byte }
+
+func (m doneInfoMsg) encode() []byte {
+	dst := appendU32(nil, uint32(len(m.JSON)))
+	return append(dst, m.JSON...)
+}
+
+func decodeDoneInfo(b []byte) (doneInfoMsg, error) {
+	c := &cursor{buf: b}
+	m := doneInfoMsg{JSON: c.bytes()}
+	return m, c.done()
+}
+
+// errorMsg reports a fatal worker-side failure to the coordinator.
+type errorMsg struct{ Text string }
+
+func (m errorMsg) encode() []byte { return appendString(nil, m.Text) }
+
+func decodeError(b []byte) (errorMsg, error) {
+	c := &cursor{buf: b}
+	m := errorMsg{Text: c.str()}
+	return m, c.done()
+}

@@ -1,0 +1,463 @@
+package netrun
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"parsec/internal/ptg"
+	"parsec/internal/tensor"
+)
+
+// tile constructs a small Tile4 with distinctive, non-round values so a
+// byte-level round-trip slip shows up in the comparison.
+func tile(seed float64) *tensor.Tile4 {
+	t := &tensor.Tile4{Dim: [4]int{2, 1, 3, 1}, Data: make([]float64, 6)}
+	for i := range t.Data {
+		t.Data[i] = seed + float64(i)*0.3125
+	}
+	return t
+}
+
+// TestFrameRoundTrip drives appendFrame through decodeFrame and
+// readFrame for every valid type, with and without the ack-suppress
+// bit, including zero-length bodies and back-to-back frames.
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {0xde}, bytes.Repeat([]byte{7}, 300)}
+	for typ := msgHello; typ < msgMax; typ++ {
+		for i, body := range bodies {
+			for _, suppress := range []bool{false, true} {
+				buf := appendFrame(nil, typ, uint64(typ)<<8|uint64(i), suppress, body)
+				f, n, err := decodeFrame(buf)
+				if err != nil {
+					t.Fatalf("type %d: decode: %v", typ, err)
+				}
+				if n != len(buf) {
+					t.Fatalf("type %d: consumed %d of %d bytes", typ, n, len(buf))
+				}
+				if f.typ != typ || f.id != uint64(typ)<<8|uint64(i) || f.suppressAck != suppress {
+					t.Fatalf("type %d: frame header mangled: %+v", typ, f)
+				}
+				if !bytes.Equal(f.body, body) {
+					t.Fatalf("type %d: body mangled", typ)
+				}
+				rf, err := readFrame(bytes.NewReader(buf))
+				if err != nil {
+					t.Fatalf("type %d: readFrame: %v", typ, err)
+				}
+				if rf.typ != f.typ || rf.id != f.id || !bytes.Equal(rf.body, f.body) {
+					t.Fatalf("type %d: readFrame disagrees with decodeFrame", typ)
+				}
+			}
+		}
+	}
+	// Two frames back to back: decodeFrame must consume exactly one.
+	buf := appendFrame(nil, msgStatus, 1, false, []byte{1, 2, 3})
+	first := len(buf)
+	buf = appendFrame(buf, msgDone, 2, false, nil)
+	f, n, err := decodeFrame(buf)
+	if err != nil || n != first || f.typ != msgStatus {
+		t.Fatalf("first frame of pair: typ %d n %d err %v", f.typ, n, err)
+	}
+	f, _, err = decodeFrame(buf[n:])
+	if err != nil || f.typ != msgDone {
+		t.Fatalf("second frame of pair: typ %d err %v", f.typ, err)
+	}
+}
+
+// TestFrameRejectsMalformed checks every header-level rejection path.
+func TestFrameRejectsMalformed(t *testing.T) {
+	good := appendFrame(nil, msgHello, 9, false, []byte{1, 2})
+
+	// Partial input at every prefix length: pending, never an error.
+	for i := 0; i < len(good); i++ {
+		f, n, err := decodeFrame(good[:i])
+		if err != nil || n != 0 || f.typ != 0 {
+			t.Fatalf("prefix %d: want pending, got n=%d err=%v", i, n, err)
+		}
+	}
+
+	corrupt := func(mod func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mod(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' }), errBadMagic},
+		{"bad version", corrupt(func(b []byte) { b[2] = 99 }), errBadVersion},
+		{"type zero", corrupt(func(b []byte) { b[3] = 0 }), errBadType},
+		{"type past max", corrupt(func(b []byte) { b[3] = msgMax }), errBadType},
+		{"type zero suppressed", corrupt(func(b []byte) { b[3] = ackSuppressBit }), errBadType},
+		{"oversized", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[12:], maxBody+1)
+		}), errOversized},
+	}
+	for _, tc := range cases {
+		if _, _, err := decodeFrame(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := readFrame(bytes.NewReader(tc.buf)); err == nil {
+			t.Errorf("%s: readFrame accepted corrupt header", tc.name)
+		}
+	}
+
+	// A header promising more body than the stream has must surface an
+	// io error from readFrame, not hang or panic.
+	if _, err := readFrame(bytes.NewReader(good[:len(good)-1])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated stream: got %v, want unexpected EOF", err)
+	}
+}
+
+// TestPayloadRoundTrip round-trips every payload kind.
+func TestPayloadRoundTrip(t *testing.T) {
+	vals := []any{
+		nil,
+		tile(0.5),
+		ptg.NewBuffer{Bytes: 4096},
+		int(-17),
+		float64(-315.378772551848),
+		math.Inf(-1),
+	}
+	for _, v := range vals {
+		buf, err := appendPayload(nil, v)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", v, err)
+		}
+		c := &cursor{buf: buf}
+		got := decodePayload(c)
+		if err := c.done(); err != nil {
+			t.Fatalf("%T: decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("%T: round-trip changed value: %#v -> %#v", v, v, got)
+		}
+	}
+	if _, err := appendPayload(nil, struct{}{}); err == nil {
+		t.Error("appendPayload accepted an unknown type")
+	}
+	// A tile whose element count disagrees with its dims must be
+	// rejected, not allocated.
+	bad, _ := appendPayload(nil, tile(1))
+	binary.LittleEndian.PutUint32(bad[1+32:], 5) // count 5, dims say 6
+	c := &cursor{buf: bad}
+	if p := decodePayload(c); p != nil || c.err == nil {
+		t.Error("tile with mismatched element count decoded")
+	}
+}
+
+// roundTrip runs one encode/decode pair and compares the result.
+func roundTrip[M any](t *testing.T, name string, in M, enc []byte, dec func([]byte) (M, error)) {
+	t.Helper()
+	out, err := dec(enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("%s: round-trip changed message:\n in  %#v\n out %#v", name, in, out)
+	}
+	// Every strict prefix must be rejected (truncation can never decode
+	// into a message silently). Messages with nil-able tails (getResp's
+	// nil tile, flushAck's legacy empty body) opt out via their own
+	// tests.
+	for i := 0; i < len(enc); i++ {
+		if _, err := dec(enc[:i]); err == nil {
+			t.Fatalf("%s: truncation to %d/%d bytes decoded cleanly", name, i, len(enc))
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := dec(append(append([]byte(nil), enc...), 0xAA)); err == nil {
+		t.Errorf("%s: trailing byte decoded cleanly", name)
+	}
+}
+
+// TestMessageRoundTrips covers every message body codec in the
+// protocol, one subtest per type, with representative field values
+// (negative ints, empty and non-empty slices, tiles, special floats).
+func TestMessageRoundTrips(t *testing.T) {
+	t.Run("hello", func(t *testing.T) {
+		m := helloMsg{From: -1} // the coordinator's rank is negative
+		roundTrip(t, "hello", m, m.encode(), decodeHello)
+	})
+	t.Run("register", func(t *testing.T) {
+		m := registerMsg{Rank: 3, Addr: "127.0.0.1:40321"}
+		roundTrip(t, "register", m, m.encode(), decodeRegister)
+	})
+	t.Run("welcome", func(t *testing.T) {
+		m := welcomeMsg{Ranks: 3, Addrs: []string{"a:1", "", "long-unix-socket-path.sock"}}
+		roundTrip(t, "welcome", m, m.encode(), decodeWelcome)
+	})
+	t.Run("activate", func(t *testing.T) {
+		for _, payload := range []any{nil, tile(2.25), ptg.NewBuffer{Bytes: 64}, 7, 2.5} {
+			m := activateMsg{Class: "GEMM", Args: ptg.A3(4, -1, 9), Flow: 2, Payload: payload}
+			enc, err := m.encode()
+			if err != nil {
+				t.Fatalf("activate(%T): encode: %v", payload, err)
+			}
+			roundTrip(t, "activate", m, enc, decodeActivate)
+		}
+	})
+	t.Run("done", func(t *testing.T) {
+		m := doneMsg{Seqs: []int{0, 5, 1 << 40, 3}}
+		roundTrip(t, "done", m, m.encode(), decodeDone)
+		// Empty batch decodes to an empty (non-nil) slice.
+		out, err := decodeDone(doneMsg{}.encode())
+		if err != nil || len(out.Seqs) != 0 {
+			t.Fatalf("empty done: %+v, %v", out, err)
+		}
+	})
+	t.Run("status", func(t *testing.T) {
+		m := statusMsg{Backlog: 12345}
+		roundTrip(t, "status", m, m.encode(), decodeStatus)
+	})
+	t.Run("flushAck", func(t *testing.T) {
+		m := flushAckMsg{Accs: 987654321}
+		out, err := decodeFlushAck(m.encode())
+		if err != nil || out != m {
+			t.Fatalf("flushAck: %+v, %v", out, err)
+		}
+		// The legacy empty body means "no accs to wait for".
+		if out, err := decodeFlushAck(nil); err != nil || out.Accs != 0 {
+			t.Fatalf("legacy flushAck: %+v, %v", out, err)
+		}
+		if _, err := decodeFlushAck([]byte{1, 2}); err == nil {
+			t.Error("short flushAck body decoded cleanly")
+		}
+	})
+	t.Run("accOrdered", func(t *testing.T) {
+		m := accOrderedMsg{
+			Name: "C", Key: tensor.BlockKey{1, 0, 2, 3},
+			Tag: 41, Lo: 7, Hi: 13, Scale: -0.5, Tile: tile(3.75),
+		}
+		enc, err := m.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, "accOrdered", m, enc, decodeAccOrdered)
+		// An accumulation without data is always a bug; the encoder must
+		// refuse the typed-nil tile rather than ship a bogus payload.
+		if _, err := (accOrderedMsg{Name: "C"}).encode(); err == nil {
+			t.Error("accOrdered with nil tile encoded cleanly")
+		}
+		// And a hand-built body with a non-tile payload must be rejected
+		// on decode.
+		bad := appendString(nil, "C")
+		for i := 0; i < 4+3; i++ {
+			bad = appendI64(bad, 0)
+		}
+		bad = appendF64(bad, 1)
+		bad = append(bad, payNil)
+		if _, err := decodeAccOrdered(bad); err == nil {
+			t.Error("accOrdered with nil payload decoded cleanly")
+		}
+	})
+	t.Run("get", func(t *testing.T) {
+		m := getMsg{ReqID: 77, Name: "T2", Key: tensor.BlockKey{0, 1, 0, 4}}
+		roundTrip(t, "get", m, m.encode(), decodeGet)
+	})
+	t.Run("getResp", func(t *testing.T) {
+		m := getRespMsg{ReqID: 78, Tile: tile(4.125)}
+		enc, err := m.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, "getResp", m, enc, decodeGetResp)
+		// The nil tile (block absent) is a legitimate answer.
+		none := getRespMsg{ReqID: 79}
+		enc, err = none.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := decodeGetResp(enc)
+		if err != nil || out.Tile != nil || out.ReqID != 79 {
+			t.Fatalf("nil-tile getResp: %+v, %v", out, err)
+		}
+		// A non-tile payload is a protocol violation.
+		buf := appendU64(nil, 80)
+		buf, _ = appendPayload(buf, int(3))
+		if _, err := decodeGetResp(buf); err == nil {
+			t.Error("getResp with int payload decoded cleanly")
+		}
+	})
+	t.Run("nxtVal", func(t *testing.T) {
+		m := nxtValMsg{ReqID: 81}
+		roundTrip(t, "nxtVal", m, m.encode(), decodeNxtVal)
+	})
+	t.Run("nxtValResp", func(t *testing.T) {
+		m := nxtValRespMsg{ReqID: 82, Val: -1}
+		roundTrip(t, "nxtValResp", m, m.encode(), decodeNxtValResp)
+	})
+	t.Run("steal", func(t *testing.T) {
+		m := stealMsg{Thief: 2}
+		roundTrip(t, "steal", m, m.encode(), decodeSteal)
+	})
+	t.Run("migrate", func(t *testing.T) {
+		m := migrateMsg{
+			Class: "DFILL", Args: ptg.A2(5, 6),
+			Ins: []migratePayload{
+				{Flow: 0, Payload: tile(5.5)},
+				{Flow: 2, Payload: nil},
+				{Flow: 3, Payload: ptg.NewBuffer{Bytes: 128}},
+			},
+		}
+		enc, err := m.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, "migrate", m, enc, decodeMigrate)
+		// No shipped inputs is legal (all flows data- or new-sourced).
+		bare := migrateMsg{Class: "SORT", Args: ptg.A1(1)}
+		enc, err = bare.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := decodeMigrate(enc)
+		if err != nil || len(out.Ins) != 0 || out.Class != "SORT" {
+			t.Fatalf("bare migrate: %+v, %v", out, err)
+		}
+	})
+	t.Run("takeover", func(t *testing.T) {
+		m := takeoverMsg{Dead: 2, Heir: 0}
+		roundTrip(t, "takeover", m, m.encode(), decodeTakeover)
+	})
+	t.Run("doneInfo", func(t *testing.T) {
+		m := doneInfoMsg{JSON: []byte(`{"rank":1}`)}
+		roundTrip(t, "doneInfo", m, m.encode(), decodeDoneInfo)
+	})
+	t.Run("error", func(t *testing.T) {
+		m := errorMsg{Text: "netrun: rank 1: deadline exceeded"}
+		roundTrip(t, "error", m, m.encode(), decodeError)
+	})
+}
+
+// TestDecodersRejectHugeCounts feeds each slice-bearing decoder a
+// count prefix far larger than the buffer: they must error without
+// attempting the implied allocation.
+func TestDecodersRejectHugeCounts(t *testing.T) {
+	huge := appendU32(nil, math.MaxUint32)
+	if _, err := decodeDone(huge); err == nil {
+		t.Error("done: huge count decoded cleanly")
+	}
+	if _, err := decodeWelcome(append(appendI64(nil, 2), huge...)); err == nil {
+		t.Error("welcome: huge count decoded cleanly")
+	}
+	mig := appendString(nil, "X")
+	for i := 0; i < len(ptg.Args{}); i++ {
+		mig = appendI64(mig, 0)
+	}
+	if _, err := decodeMigrate(append(mig, huge...)); err == nil {
+		t.Error("migrate: huge count decoded cleanly")
+	}
+	if _, err := decodeDoneInfo(huge); err == nil {
+		t.Error("doneInfo: huge length decoded cleanly")
+	}
+	// A tile header claiming 2^32-1 elements inside an activate body.
+	act := appendString(nil, "GEMM")
+	for i := 0; i < len(ptg.Args{}); i++ {
+		act = appendI64(act, 0)
+	}
+	act = appendI64(act, 0)    // flow
+	act = append(act, payTile) // payload kind
+	for i := 0; i < 4; i++ {   // dims
+		act = appendI64(act, 1<<30)
+	}
+	act = append(act, huge...) // element count
+	if _, err := decodeActivate(act); err == nil {
+		t.Error("activate: huge tile decoded cleanly")
+	}
+}
+
+// FuzzDecodeFrame holds the frame decoder to its contract: for any
+// input it returns a frame, pending, or an error — it never panics,
+// and whatever it consumes must re-encode to the same bytes.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(appendFrame(nil, msgHello, 1, false, helloMsg{From: 0}.encode()))
+	f.Add(appendFrame(nil, msgAck, 7, true, nil))
+	act, _ := activateMsg{Class: "STEP", Args: ptg.A2(1, 2), Flow: 0, Payload: tile(1)}.encode()
+	f.Add(appendFrame(nil, msgActivate, 3, false, act))
+	f.Add(appendFrame(nil, msgDone, 4, false, doneMsg{Seqs: []int{1, 2}}.encode()))
+	f.Add([]byte{'P', 'R', wireVersion, msgMax, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{'P', 'R', 2, msgHello})
+	f.Add([]byte("not a frame at all, definitely longer than a header"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := decodeFrame(data)
+		switch {
+		case err != nil:
+			if n != 0 {
+				t.Fatalf("error with %d bytes consumed", n)
+			}
+		case n == 0:
+			// Pending: a longer read may complete it. Nothing to check.
+		default:
+			if n < frameHeaderLen || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			if fr.typ == 0 || fr.typ >= msgMax {
+				t.Fatalf("decoded invalid type %d", fr.typ)
+			}
+			re := appendFrame(nil, fr.typ, fr.id, fr.suppressAck, fr.body)
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatal("re-encode disagrees with consumed bytes")
+			}
+			// Body decoders must also never panic on arbitrary bodies.
+			decodeBody(fr)
+		}
+		// readFrame over the same bytes must agree: frame or error,
+		// never a panic or a hang (the reader is finite).
+		rf, rerr := readFrame(bytes.NewReader(data))
+		if err == nil && n > 0 && rerr == nil {
+			if rf.typ != fr.typ || rf.id != fr.id || !bytes.Equal(rf.body, fr.body) {
+				t.Fatal("readFrame disagrees with decodeFrame")
+			}
+		}
+	})
+}
+
+// decodeBody routes a fuzzed frame body through its message decoder,
+// ignoring errors: the property under test is "no panic, no runaway
+// allocation", which the Go fuzzer enforces via crash and OOM.
+func decodeBody(fr frame) {
+	switch fr.typ {
+	case msgHello:
+		_, _ = decodeHello(fr.body)
+	case msgRegister:
+		_, _ = decodeRegister(fr.body)
+	case msgWelcome:
+		_, _ = decodeWelcome(fr.body)
+	case msgActivate:
+		_, _ = decodeActivate(fr.body)
+	case msgDone:
+		_, _ = decodeDone(fr.body)
+	case msgStatus:
+		_, _ = decodeStatus(fr.body)
+	case msgAccOrdered:
+		_, _ = decodeAccOrdered(fr.body)
+	case msgGetReq:
+		_, _ = decodeGet(fr.body)
+	case msgGetResp:
+		_, _ = decodeGetResp(fr.body)
+	case msgNxtValReq:
+		_, _ = decodeNxtVal(fr.body)
+	case msgNxtValResp:
+		_, _ = decodeNxtValResp(fr.body)
+	case msgStealReq, msgStealProbe, msgStealNone:
+		_, _ = decodeSteal(fr.body)
+	case msgMigrate:
+		_, _ = decodeMigrate(fr.body)
+	case msgTakeover:
+		_, _ = decodeTakeover(fr.body)
+	case msgFlushReq, msgFlushAck:
+		_, _ = decodeFlushAck(fr.body)
+	case msgDoneInfo:
+		_, _ = decodeDoneInfo(fr.body)
+	case msgError:
+		_, _ = decodeError(fr.body)
+	}
+}

@@ -207,6 +207,22 @@ func (t *Tracker) Start(in *Instance) error {
 	return nil
 }
 
+// ClaimStart is Start under the tracker's lock. The lock-free Start
+// contract — only the dequeuer touches a ready instance — holds inside
+// one scheduler, but a distributed engine also claims tasks from
+// message-handler goroutines (steal probes, takeover scans) that run
+// concurrently with locked state reads, so its claims must serialize
+// with the tracker's other transitions.
+func (t *Tracker) ClaimStart(in *Instance) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if in.State != StateReady {
+		return fmt.Errorf("ptg: Start(%v) in state %v", in.Ref, in.State)
+	}
+	in.State = StateRunning
+	return nil
+}
+
 // Complete marks a running (or, for executors that skip Start, ready)
 // instance done and evaluates its output dependencies. It returns the
 // deliveries to perform and the terminal writes its flows are bound to.
@@ -357,6 +373,59 @@ func (t *Tracker) CompleteDeliver(in *Instance, outs []any, ready []*Instance) (
 		}
 	}
 	return ready, nil
+}
+
+// DeliveredFlow reports whether an instance's task-sourced input on the
+// given flow has already been satisfied (false also for flows with no
+// task source). Distributed executors use it to drop duplicate
+// activations — an at-least-once wire delivers the same payload twice
+// after a retransmission or a post-takeover replay — before they reach
+// Deliver, which treats duplicates as a protocol error.
+func (t *Tracker) DeliveredFlow(in *Instance, flowIdx int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if flowIdx < 0 || flowIdx >= len(in.delivered) {
+		return false
+	}
+	return !in.fromTask[flowIdx] || in.delivered[flowIdx]
+}
+
+// TaskSourced reports whether an instance's input on the given flow
+// comes from another task (as opposed to terminal data, a fresh buffer,
+// or an inactive flow). A migrating executor ships exactly the
+// task-sourced delivered inputs: everything else every rank
+// reconstructs from the graph definition.
+func (t *Tracker) TaskSourced(in *Instance, flowIdx int) bool {
+	if flowIdx < 0 || flowIdx >= len(in.fromTask) {
+		return false
+	}
+	return in.fromTask[flowIdx]
+}
+
+// Reset returns a running instance to the ready state, keeping its
+// delivered inputs. It is the re-claim path of distributed migration: a
+// victim marks a task Running when it hands it to a remote thief, and if
+// the thief dies before completing it the victim resets and re-executes
+// the task itself. Resetting an instance in any other state is an error.
+func (t *Tracker) Reset(in *Instance) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if in.State != StateRunning {
+		return fmt.Errorf("ptg: Reset(%v) in state %v", in.Ref, in.State)
+	}
+	in.State = StateReady
+	return nil
+}
+
+// StateOf returns an instance's lifecycle state under the tracker's
+// lock. Concurrent executors that must branch on state outside the
+// dequeue path (a distributed engine scanning for re-executable work
+// during takeover, say) read it here rather than racing the plain
+// State field against a locked transition.
+func (t *Tracker) StateOf(in *Instance) InstState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return in.State
 }
 
 // CheckQuiescent verifies the terminal invariant: every instance done.

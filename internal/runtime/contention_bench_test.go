@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 )
 
 func benchFanout(n int) *ptg.Graph {
@@ -39,8 +40,8 @@ func BenchmarkDispatchFanout(b *testing.B) {
 	g := benchFanout(tasks)
 	for _, mode := range []struct {
 		name string
-		q    QueueMode
-	}{{"shared", SharedQueue}, {"pinned", PerWorker}, {"pinned-steal", PerWorkerSteal}} {
+		q    sched.QueueMode
+	}{{"shared", sched.SharedQueue}, {"pinned", sched.PerWorker}, {"pinned-steal", sched.PerWorkerSteal}} {
 		for _, workers := range []int{1, 4, 8, 16} {
 			mode, workers := mode, workers
 			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, workers), func(b *testing.B) {

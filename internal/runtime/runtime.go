@@ -32,29 +32,6 @@ import (
 	"parsec/internal/sched"
 )
 
-// Policy selects how ready tasks are ordered; it is the scheduling
-// core's policy type (see sched.Policy for the variants' semantics).
-type Policy = sched.Policy
-
-// The policies, re-exported from the scheduling core.
-const (
-	PriorityOrder = sched.PriorityOrder
-	LIFOOrder     = sched.LIFOOrder
-)
-
-// QueueMode selects how ready tasks are distributed among workers; it
-// is the scheduling core's mode type (see sched.QueueMode).
-type QueueMode = sched.QueueMode
-
-// The queue modes, re-exported from the scheduling core: one shared
-// queue, pinned per-worker queues, and pinned queues with randomized
-// stealing.
-const (
-	SharedQueue    = sched.SharedQueue
-	PerWorker      = sched.PerWorker
-	PerWorkerSteal = sched.PerWorkerSteal
-)
-
 // Event records one task execution for tracing.
 type Event struct {
 	Task   ptg.TaskRef
@@ -67,9 +44,9 @@ type Event struct {
 type Config struct {
 	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
 	Workers int
-	Policy  Policy
+	Policy  sched.Policy
 	// Queues selects the ready-queue structure (default SharedQueue).
-	Queues QueueMode
+	Queues sched.QueueMode
 	// Observer, if set, receives an Event after each task completes.
 	// Called concurrently from workers; must be safe.
 	Observer func(Event)
@@ -174,7 +151,7 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	nshards := workers
-	if cfg.Queues == SharedQueue {
+	if cfg.Queues == sched.SharedQueue {
 		nshards = 1
 	}
 
@@ -366,7 +343,7 @@ func (r *runner) enqueueBatch(ws *workerState, ins []*ptg.Instance) {
 // nonempty shard's owner (nobody else may run its tasks), otherwise any
 // parked workers, at most one per new task.
 func (r *runner) wakeBatch(n int) {
-	if r.cfg.Queues == PerWorker {
+	if r.cfg.Queues == sched.PerWorker {
 		for si := range r.shards {
 			if r.nparked.Load() == 0 {
 				return
@@ -395,11 +372,11 @@ func (r *runner) wakeFor(si int) {
 		return // every worker is already running; nobody to wake
 	}
 	skip := -1 // in shared mode si indexes the lone shard, not a worker
-	if r.cfg.Queues != SharedQueue {
+	if r.cfg.Queues != sched.SharedQueue {
 		if r.wake(si) {
 			return
 		}
-		if r.cfg.Queues == PerWorker {
+		if r.cfg.Queues == sched.PerWorker {
 			return // only the pinned owner may run it
 		}
 		skip = si
@@ -486,14 +463,14 @@ func (r *runner) steal(id int) *ptg.Instance {
 // randomized steal when the mode allows it.
 func (r *runner) tryGet(id int) *ptg.Instance {
 	own := id
-	if r.cfg.Queues == SharedQueue {
+	if r.cfg.Queues == sched.SharedQueue {
 		own = 0
 	}
 	if in := r.popShard(own); in != nil {
 		r.observe(sched.OpPop, id, own, in)
 		return in
 	}
-	if r.cfg.Queues == PerWorkerSteal {
+	if r.cfg.Queues == sched.PerWorkerSteal {
 		return r.steal(id)
 	}
 	return nil
@@ -502,13 +479,13 @@ func (r *runner) tryGet(id int) *ptg.Instance {
 // hasWork reports whether worker id could obtain a task right now,
 // using the shards' lock-free size mirrors.
 func (r *runner) hasWork(id int) bool {
-	if r.cfg.Queues == SharedQueue {
+	if r.cfg.Queues == sched.SharedQueue {
 		return r.shards[0].size.Load() > 0
 	}
 	if r.shards[id].size.Load() > 0 {
 		return true
 	}
-	if r.cfg.Queues == PerWorkerSteal {
+	if r.cfg.Queues == sched.PerWorkerSteal {
 		for i := range r.shards {
 			if r.shards[i].size.Load() > 0 {
 				return true

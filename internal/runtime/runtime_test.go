@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 )
 
 // diamondGraph: SRC(0) fans out to MID(i) for i in 0..n-1, which all feed
@@ -93,7 +94,7 @@ func TestRunSingleWorkerPriorityOrder(t *testing.T) {
 	var log []string
 	var mu sync.Mutex
 	g := diamondGraph(5, &log, &mu)
-	if _, err := Run(g, Config{Workers: 1, Policy: PriorityOrder}); err != nil {
+	if _, err := Run(g, Config{Workers: 1, Policy: sched.PriorityOrder}); err != nil {
 		t.Fatal(err)
 	}
 	// With one worker and priority = n - i, the MIDs must run 0,1,2,3,4.
@@ -107,7 +108,7 @@ func TestRunSingleWorkerLIFOIgnoresPriority(t *testing.T) {
 	var log []string
 	var mu sync.Mutex
 	g := diamondGraph(5, &log, &mu)
-	if _, err := Run(g, Config{Workers: 1, Policy: LIFOOrder}); err != nil {
+	if _, err := Run(g, Config{Workers: 1, Policy: sched.LIFOOrder}); err != nil {
 		t.Fatal(err)
 	}
 	// LIFO: after SRC completes, MIDs enqueue 0..4 and pop 4..0.
@@ -262,7 +263,7 @@ func TestDefaultWorkerCount(t *testing.T) {
 }
 
 func TestQueueModesComplete(t *testing.T) {
-	for _, mode := range []QueueMode{SharedQueue, PerWorker, PerWorkerSteal} {
+	for _, mode := range []sched.QueueMode{sched.SharedQueue, sched.PerWorker, sched.PerWorkerSteal} {
 		var log []string
 		var mu sync.Mutex
 		g := diamondGraph(6, &log, &mu)
@@ -283,7 +284,7 @@ func TestQueueModesChainCorrect(t *testing.T) {
 	// A serial chain must stay ordered under pinned queues too (the chain
 	// tasks hash to different workers, so each handoff crosses queues).
 	const n = 40
-	for _, mode := range []QueueMode{PerWorker, PerWorkerSteal} {
+	for _, mode := range []sched.QueueMode{sched.PerWorker, sched.PerWorkerSteal} {
 		g := ptg.NewGraph("chain")
 		var order []int
 		var mu sync.Mutex
@@ -332,7 +333,7 @@ func TestStealingUsesIdleWorkers(t *testing.T) {
 		count.Add(1)
 		time.Sleep(time.Millisecond)
 	}
-	rep, err := Run(g, Config{Workers: 4, Queues: PerWorkerSteal})
+	rep, err := Run(g, Config{Workers: 4, Queues: sched.PerWorkerSteal})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 )
 
 // Scheduler equivalence: every scheduling configuration (policy × queue
@@ -186,13 +187,13 @@ func TestSchedulerEquivalence(t *testing.T) {
 		t.Run(gr.name, func(t *testing.T) {
 			// Reference: one worker, one shared queue, priority order.
 			var ref equivResult
-			refRep, err := Run(gr.build(&ref), Config{Workers: 1, Queues: SharedQueue, Policy: PriorityOrder})
+			refRep, err := Run(gr.build(&ref), Config{Workers: 1, Queues: sched.SharedQueue, Policy: sched.PriorityOrder})
 			if err != nil {
 				t.Fatalf("reference run: %v", err)
 			}
 
-			for _, pol := range []Policy{PriorityOrder, LIFOOrder} {
-				for _, q := range []QueueMode{SharedQueue, PerWorker, PerWorkerSteal} {
+			for _, pol := range []sched.Policy{sched.PriorityOrder, sched.LIFOOrder} {
+				for _, q := range []sched.QueueMode{sched.SharedQueue, sched.PerWorker, sched.PerWorkerSteal} {
 					for _, workers := range []int{1, 2, 8} {
 						pol, q, workers := pol, q, workers
 						t.Run(fmt.Sprintf("%v-%v-w%d", pol, q, workers), func(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 )
 
 // stragglerFan builds n independent tasks with a small real body so
@@ -31,7 +32,7 @@ func stragglerFan(n int) *ptg.Graph {
 
 // TestStealUnderStragglerRealRuntime exercises the steal-under-failure
 // path on the goroutine runtime: the TaskDelay hook slows worker 0 the
-// way the fault injector slows a simulated node, and PerWorkerSteal
+// way the fault injector slows a simulated node, and sched.PerWorkerSteal
 // must shift that worker's pinned backlog to its siblings.
 func TestStealUnderStragglerRealRuntime(t *testing.T) {
 	const workers, n = 4, 400
@@ -39,7 +40,7 @@ func TestStealUnderStragglerRealRuntime(t *testing.T) {
 	g := stragglerFan(n)
 	rep, err := Run(g, Config{
 		Workers: workers,
-		Queues:  PerWorkerSteal,
+		Queues:  sched.PerWorkerSteal,
 		TaskDelay: func(worker int, ref ptg.TaskRef) time.Duration {
 			perWorker[worker].Add(1)
 			if worker == 0 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 )
 
 // stressDAG builds a layered DAG: width tasks per layer, layers deep.
@@ -63,7 +64,7 @@ func TestStressLayeredDAG(t *testing.T) {
 		t.Skip("stress test skipped in -short mode")
 	}
 	const width, layers = 50, 100
-	for _, q := range []QueueMode{SharedQueue, PerWorker, PerWorkerSteal} {
+	for _, q := range []sched.QueueMode{sched.SharedQueue, sched.PerWorker, sched.PerWorkerSteal} {
 		q := q
 		t.Run(q.String(), func(t *testing.T) {
 			var done atomic.Int64
@@ -102,7 +103,7 @@ func TestDeadlockMidRunReportsCount(t *testing.T) {
 			return ptg.TaskRef{Class: "T", Args: ptg.A1(1 - a[0])}, "D"
 		})
 
-	for _, q := range []QueueMode{SharedQueue, PerWorker, PerWorkerSteal} {
+	for _, q := range []sched.QueueMode{sched.SharedQueue, sched.PerWorker, sched.PerWorkerSteal} {
 		_, err := Run(g, Config{Workers: 4, Queues: q})
 		if err == nil {
 			t.Fatalf("mode %v: deadlock not detected", q)

@@ -1,12 +1,13 @@
-// Conformance suite: proves the real shared-memory runtime and the
-// distributed discrete-event simulator take identical scheduling
-// decisions now that both consume internal/sched. Pop-order equivalence
-// is asserted for every Policy×QueueMode combination on the same
-// generated DAGs at a single worker (where a schedule is a pure
-// function of the decision core), steal-victim choice is pinned under a
-// scripted substrate, and inter-node steal is checked against its
-// behavior-class invariants (non-migratable classes never leave their
-// affinity node; imbalance produces re-dispatches).
+// Conformance suite: proves the real shared-memory runtime, the
+// distributed discrete-event simulator, and the socket-based
+// distributed runtime take identical scheduling decisions now that all
+// three consume internal/sched. Pop-order equivalence is asserted for
+// every Policy×QueueMode combination on the same generated DAGs at a
+// single worker (where a schedule is a pure function of the decision
+// core), steal-victim choice is pinned under a scripted substrate, and
+// inter-node steal is checked against its behavior-class invariants
+// (non-migratable classes never leave their affinity node; imbalance
+// produces re-dispatches).
 package sched_test
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"parsec/internal/cluster"
 	"parsec/internal/ga"
+	"parsec/internal/netrun"
 	"parsec/internal/ptg"
 	"parsec/internal/runtime"
 	"parsec/internal/sched"
@@ -146,10 +148,36 @@ func simexecDecisions(t *testing.T, g *ptg.Graph, pol sched.Policy, mode sched.Q
 	return events, res
 }
 
+// netrunDecisions executes the graph on the socket runtime at one rank
+// and returns the scheduling decision stream. build must construct a
+// fresh graph per call — RunGraph builds once for the coordinator's
+// task count and once for the rank's tracker.
+func netrunDecisions(t *testing.T, build func() *ptg.Graph, pol sched.Policy, mode sched.QueueMode, workers int) []sched.Event {
+	t.Helper()
+	var mu sync.Mutex
+	var events []sched.Event
+	_, err := netrun.RunGraph(netrun.Config{
+		Ranks:   1,
+		Workers: workers,
+		Policy:  pol,
+		Queues:  mode,
+		SchedObserver: func(e sched.Event) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		},
+	}, func(rank int) (*ptg.Graph, error) { return build(), nil })
+	if err != nil {
+		t.Fatalf("netrun %v/%v: %v", pol, mode, err)
+	}
+	return events
+}
+
 // TestPopOrderEquivalence is the core conformance claim: at one worker
 // the schedule is a pure function of the decision core, so the real
-// runtime and the simulator must dispatch the same generated DAG in the
-// same order for every Policy×QueueMode combination.
+// runtime, the simulator, and the socket runtime must dispatch the same
+// generated DAG in the same order for every Policy×QueueMode
+// combination.
 func TestPopOrderEquivalence(t *testing.T) {
 	graphs := []struct {
 		name  string
@@ -166,16 +194,24 @@ func TestPopOrderEquivalence(t *testing.T) {
 					real := takeOrder(runtimeDecisions(t, gr.build(), pol, mode, 1))
 					simEv, _ := simexecDecisions(t, gr.build(), pol, mode, 1, 1, false)
 					sim := takeOrder(simEv)
+					net := takeOrder(netrunDecisions(t, gr.build, pol, mode, 1))
 					if len(real) != gr.tasks {
 						t.Fatalf("runtime dispatched %d tasks, want %d", len(real), gr.tasks)
 					}
 					if len(sim) != gr.tasks {
 						t.Fatalf("simexec dispatched %d tasks, want %d", len(sim), gr.tasks)
 					}
+					if len(net) != gr.tasks {
+						t.Fatalf("netrun dispatched %d tasks, want %d", len(net), gr.tasks)
+					}
 					for i := range real {
 						if real[i] != sim[i] {
 							t.Fatalf("dispatch %d diverges: runtime %s, simexec %s\nruntime: %v\nsimexec: %v",
 								i, real[i], sim[i], real, sim)
+						}
+						if real[i] != net[i] {
+							t.Fatalf("dispatch %d diverges: runtime %s, netrun %s\nruntime: %v\nnetrun: %v",
+								i, real[i], net[i], real, net)
 						}
 					}
 				})

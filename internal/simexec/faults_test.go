@@ -8,6 +8,7 @@ import (
 	"parsec/internal/fault"
 	"parsec/internal/ga"
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 )
 
@@ -194,7 +195,7 @@ func TestInterNodeStealUnderStraggler(t *testing.T) {
 		}
 		res, err := Run(stragglerGraph(n, nodes, 2e5), m, ga.NewSim(m), Config{
 			CoresPerNode:   cores,
-			Queues:         PerWorkerSteal,
+			Queues:         sched.PerWorkerSteal,
 			InterNodeSteal: interNode,
 		})
 		if err != nil {
@@ -232,7 +233,7 @@ func TestInterNodeStealRequiresPerWorkerSteal(t *testing.T) {
 	m, gs := testMachine(2, 1)
 	_, err := Run(pipelineGraph(1, 1e5), m, gs, Config{CoresPerNode: 1, InterNodeSteal: true})
 	if err == nil {
-		t.Fatal("expected config error for InterNodeSteal without PerWorkerSteal")
+		t.Fatal("expected config error for InterNodeSteal without sched.PerWorkerSteal")
 	}
 }
 
@@ -251,7 +252,7 @@ func TestBehaviorTasksNeverMigrate(t *testing.T) {
 	behaved := make(map[int]bool)
 	res, err := Run(fanGraph(n, 1e9, nodes), m, gs, Config{
 		CoresPerNode:   cores,
-		Queues:         PerWorkerSteal,
+		Queues:         sched.PerWorkerSteal,
 		InterNodeSteal: true,
 		Behaviors: map[string]Behavior{
 			"T": func(ctx *TaskCtx) {

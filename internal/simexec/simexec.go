@@ -34,40 +34,6 @@ import (
 	"parsec/internal/trace"
 )
 
-// Policy selects ready-task ordering.
-//
-// Deprecated: the type moved to the scheduling core; use sched.Policy.
-// The alias is kept one release so cmd/ccsim flags and external callers
-// keep compiling.
-type Policy = sched.Policy
-
-// The policies, re-exported from the scheduling core: priority order
-// with creation-order ties, or LIFO ignoring priorities (the v2
-// behavior of Fig 11).
-const (
-	PriorityOrder = sched.PriorityOrder
-	LIFOOrder     = sched.LIFOOrder
-)
-
-// QueueMode selects how ready tasks are distributed among a node's
-// workers — the §IV-D design point ("dynamic work stealing within each
-// node").
-//
-// Deprecated: the type moved to the scheduling core; use
-// sched.QueueMode. The alias is kept one release so cmd/ccsim flags and
-// external callers keep compiling.
-type QueueMode = sched.QueueMode
-
-// The queue modes, re-exported from the scheduling core: one shared
-// per-node queue (the intra-node dynamic load balancing PaRSEC uses),
-// statically pinned per-worker queues, and pinned queues where an idle
-// worker steals the best ready task from a sibling.
-const (
-	SharedQueue    = sched.SharedQueue
-	PerWorker      = sched.PerWorker
-	PerWorkerSteal = sched.PerWorkerSteal
-)
-
 // Payload is the simulated datum moved along graph edges.
 type Payload struct{ Bytes int64 }
 
@@ -125,10 +91,10 @@ func DefaultRetryPolicy() RetryPolicy {
 // Config controls a simulated run.
 type Config struct {
 	CoresPerNode int // worker threads per node (comm thread is extra)
-	Policy       Policy
+	Policy       sched.Policy
 	// Queues selects the intra-node scheduling structure (default
 	// SharedQueue).
-	Queues QueueMode
+	Queues sched.QueueMode
 	// Behaviors overrides execution per class name; classes without an
 	// entry charge their Cost function.
 	Behaviors map[string]Behavior
@@ -213,7 +179,7 @@ func Run(g *ptg.Graph, m *cluster.Machine, gasim *ga.Sim, cfg Config) (Result, e
 	if cfg.CoresPerNode <= 0 {
 		return Result{}, fmt.Errorf("simexec: CoresPerNode = %d", cfg.CoresPerNode)
 	}
-	if cfg.InterNodeSteal && cfg.Queues != PerWorkerSteal {
+	if cfg.InterNodeSteal && cfg.Queues != sched.PerWorkerSteal {
 		return Result{}, fmt.Errorf("simexec: InterNodeSteal requires PerWorkerSteal queues")
 	}
 	if cfg.Retry == (RetryPolicy{}) {
@@ -368,7 +334,7 @@ func (ex *executor) enqueue(in *ptg.Instance) {
 	}
 	ns := ex.nodes[node]
 	ns.rq.Push(in)
-	if ex.cfg.Queues == SharedQueue {
+	if ex.cfg.Queues == sched.SharedQueue {
 		ns.workersIdle.WakeOne()
 	} else {
 		// Wake everyone: the task is pinned to (or stealable by) a
@@ -393,7 +359,7 @@ func (ex *executor) dequeueFor(node, wid int) *ptg.Instance {
 	if in := ns.rq.Pop(wid); in != nil {
 		return in
 	}
-	if ex.cfg.Queues == PerWorkerSteal {
+	if ex.cfg.Queues == sched.PerWorkerSteal {
 		return ns.rq.StealBest(wid)
 	}
 	return nil

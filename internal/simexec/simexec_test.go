@@ -7,6 +7,7 @@ import (
 	"parsec/internal/cluster"
 	"parsec/internal/ga"
 	"parsec/internal/ptg"
+	"parsec/internal/sched"
 	"parsec/internal/sim"
 	"parsec/internal/trace"
 )
@@ -157,7 +158,7 @@ func TestLIFOIgnoresPriorities(t *testing.T) {
 	c.Priority = func(a ptg.Args) int64 { return int64(a[0]) }
 	tr := trace.New()
 	m, gs := testMachine(1, 1)
-	if _, err := Run(g, m, gs, Config{CoresPerNode: 1, Policy: LIFOOrder, Trace: tr}); err != nil {
+	if _, err := Run(g, m, gs, Config{CoresPerNode: 1, Policy: sched.LIFOOrder, Trace: tr}); err != nil {
 		t.Fatal(err)
 	}
 	evs := tr.Events()
@@ -252,7 +253,7 @@ func TestByClassCounts(t *testing.T) {
 }
 
 func TestQueueModesAllComplete(t *testing.T) {
-	for _, mode := range []QueueMode{SharedQueue, PerWorker, PerWorkerSteal} {
+	for _, mode := range []sched.QueueMode{sched.SharedQueue, sched.PerWorker, sched.PerWorkerSteal} {
 		m, gs := testMachine(2, 3)
 		res, err := Run(pipelineGraph(30, 1e5), m, gs, Config{CoresPerNode: 3, Queues: mode})
 		if err != nil {
@@ -280,7 +281,7 @@ func TestStealingBeatsPinnedQueues(t *testing.T) {
 		c.Cost = func(a ptg.Args) ptg.Cost { return ptg.Cost{Flops: 1e9} }
 		return g
 	}
-	run := func(mode QueueMode) sim.Time {
+	run := func(mode sched.QueueMode) sim.Time {
 		m, gs := testMachine(1, 4)
 		res, err := Run(build(), m, gs, Config{CoresPerNode: 4, Queues: mode})
 		if err != nil {
@@ -288,9 +289,9 @@ func TestStealingBeatsPinnedQueues(t *testing.T) {
 		}
 		return res.Makespan
 	}
-	pinned := run(PerWorker)
-	steal := run(PerWorkerSteal)
-	shared := run(SharedQueue)
+	pinned := run(sched.PerWorker)
+	steal := run(sched.PerWorkerSteal)
+	shared := run(sched.SharedQueue)
 	// Pinned distributes Seq%4 evenly here, so give it a fair chance; the
 	// invariant we rely on is only that stealing and the shared queue are
 	// never slower than pinned queues.
