@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench lint fig9 traces profile faults sched-conformance netrun-conformance real-dist examples clean
+.PHONY: all build vet test race bench bench-kernels lint fig9 traces profile faults sched-conformance netrun-conformance real-dist examples clean
 
 all: build vet test lint
 
@@ -25,6 +25,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-run the dense-kernel sweep and diff it against the committed
+# BENCH_kernels.json baseline: >10% ns/op regressions on matching rows
+# fail the target (rows are skipped when arch/cpus/tier differ from the
+# baseline machine). Writes the fresh sweep to bench_kernels_new.json;
+# promote it with `cp bench_kernels_new.json BENCH_kernels.json` after an
+# intentional kernel change.
+bench-kernels:
+	$(GO) run ./cmd/ccsim -kernels -kernelsout bench_kernels_new.json -kernelsbaseline BENCH_kernels.json
 
 # The paper's headline experiment (Fig 9) at full scale.
 fig9:
@@ -72,4 +81,4 @@ examples:
 	$(GO) run ./examples/variants
 
 clean:
-	rm -f fig9.csv trace_*.svg test_output.txt bench_output.txt
+	rm -f fig9.csv trace_*.svg test_output.txt bench_output.txt bench_kernels_new.json

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -11,14 +12,18 @@ import (
 	"parsec/internal/metrics"
 	"parsec/internal/molecule"
 	"parsec/internal/tce"
+	"parsec/internal/team"
 	"parsec/internal/tensor"
 )
 
-// The -kernels mode: benchmark the dense-kernel layer (blocked GEMM and
-// SORT_4) over the tile shapes the real workloads produce, and emit the
-// result as the committed BENCH_kernels.json baseline. Shapes are
-// harvested from the inspection phase of each preset, so the sweep
-// tracks the workloads rather than a hand-picked list.
+// The -kernels mode: benchmark the dense-kernel layer (blocked GEMM —
+// serial and team-split — and the SORT_4 permutations) over the tile
+// shapes the real workloads produce, and emit the result as the
+// committed BENCH_kernels.json baseline. Shapes are harvested from the
+// inspection phase of each preset, so the sweep tracks the workloads
+// rather than a hand-picked list. With -kernelsbaseline the fresh sweep
+// is diffed against a committed baseline and >10% ns/op regressions
+// fail the run (the make bench-kernels guard).
 
 // kernelPresets are the workloads the sweep harvests shapes from.
 var kernelPresets = []string{"water", "benzene", "betacarotene"}
@@ -26,6 +31,15 @@ var kernelPresets = []string{"water", "benzene", "betacarotene"}
 // maxShapesPerKind caps how many distinct shapes per (workload, kernel)
 // are benchmarked, most-frequent first.
 const maxShapesPerKind = 4
+
+// gemmParWorkers is the team size the gemm-par rows split across,
+// matching the acceptance target of four lent workers.
+const gemmParWorkers = 4
+
+// gemmParMinProduct mirrors the m*n*k cutoff below which GemmP runs
+// serially (tensor's gemmParCutoff); smaller shapes get no gemm-par row
+// because it would duplicate the gemm row.
+const gemmParMinProduct = 96 * 96 * 96
 
 type gemmShape struct{ m, n, k int }
 
@@ -92,6 +106,23 @@ func benchGemmShape(s gemmShape) testing.BenchmarkResult {
 	})
 }
 
+func benchGemmParShape(s gemmShape, pool *team.Pool) testing.BenchmarkResult {
+	a := tensor.NewMatrix(s.k, s.m)
+	b := tensor.NewMatrix(s.k, s.n)
+	c := tensor.NewMatrix(s.m, s.n)
+	ta := tensor.NewTile4(s.k, s.m, 1, 1)
+	ta.FillRandom(1, 1)
+	copy(a.Data, ta.Data)
+	tb := tensor.NewTile4(s.k, s.n, 1, 1)
+	tb.FillRandom(2, 1)
+	copy(b.Data, tb.Data)
+	return testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.GemmP(pool, nil, true, false, 1, a, b, 1, c)
+		}
+	})
+}
+
 func benchSortShape(s sortShape) testing.BenchmarkResult {
 	src := tensor.NewTile4(s.src[0], s.src[1], s.src[2], s.src[3])
 	src.FillRandom(3, 1)
@@ -104,15 +135,33 @@ func benchSortShape(s sortShape) testing.BenchmarkResult {
 	})
 }
 
+func benchSort4AddShape(s sortShape) testing.BenchmarkResult {
+	// The production accumulate form: the merged SORT body folds every
+	// permutation of a chain result straight into one destination.
+	src := tensor.NewTile4(s.src[0], s.src[1], s.src[2], s.src[3])
+	src.FillRandom(3, 1)
+	d := src.SortedDims(s.perm)
+	dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
+	return testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.Sort4Add(dst, src, s.perm, -1)
+		}
+	})
+}
+
 // runKernels executes the sweep and writes the JSON baseline to outPath
-// (stdout table always printed).
-func runKernels(outPath string, verbose bool) error {
+// (stdout table always printed). A non-empty basePath loads a committed
+// baseline and fails the run on >10% ns/op regressions.
+func runKernels(outPath, basePath string, verbose bool) error {
 	report := &metrics.KernelReport{
-		Title:     "dense-kernel sweep over real workload tile shapes (single core)",
+		Title:     "dense-kernel sweep over real workload tile shapes",
 		GoVersion: runtime.Version(),
 		Arch:      runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
+		Tier:      tensor.ActiveKernelTier().String(),
 	}
+	tp := team.NewPool(gemmParWorkers)
+	defer tp.Close()
 	for _, preset := range kernelPresets {
 		gemms, sorts, err := harvestShapes(preset)
 		if err != nil {
@@ -138,6 +187,25 @@ func runKernels(outPath string, verbose bool) error {
 				MBPerSec:   float64(bytes) / ns * 1e3,
 				GFlops:     float64(tensor.GemmFlops(s.m, s.n, s.k)) / ns,
 			})
+			if s.m*s.n*s.k < gemmParMinProduct {
+				continue
+			}
+			if verbose {
+				fmt.Fprintf(os.Stderr, "  gemm-par %s TN m=%d n=%d k=%d...\n", preset, s.m, s.n, s.k)
+			}
+			rp := benchGemmParShape(s, tp)
+			nsp := float64(rp.NsPerOp())
+			report.Results = append(report.Results, metrics.KernelResult{
+				Kernel:     "gemm-par",
+				Shape:      fmt.Sprintf("TN m=%d n=%d k=%d w=%d", s.m, s.n, s.k, gemmParWorkers),
+				Workload:   preset,
+				Count:      gemms[s],
+				Iters:      rp.N,
+				NsPerOp:    nsp,
+				BytesPerOp: bytes,
+				MBPerSec:   float64(bytes) / nsp * 1e3,
+				GFlops:     float64(tensor.GemmFlops(s.m, s.n, s.k)) / nsp,
+			})
 		}
 		for _, s := range topShapes(sorts, func(ss sortShape) string {
 			return fmt.Sprintf("%v%v", ss.src, ss.perm)
@@ -149,16 +217,32 @@ func runKernels(outPath string, verbose bool) error {
 			elems := s.src[0] * s.src[1] * s.src[2] * s.src[3]
 			bytes := tensor.Sort4Bytes(elems)
 			ns := float64(r.NsPerOp())
+			shape := fmt.Sprintf("%dx%dx%dx%d perm=%v",
+				s.src[0], s.src[1], s.src[2], s.src[3], s.perm)
 			report.Results = append(report.Results, metrics.KernelResult{
-				Kernel: "sort4",
-				Shape: fmt.Sprintf("%dx%dx%dx%d perm=%v",
-					s.src[0], s.src[1], s.src[2], s.src[3], s.perm),
+				Kernel:     "sort4",
+				Shape:      shape,
 				Workload:   preset,
 				Count:      sorts[s],
 				Iters:      r.N,
 				NsPerOp:    ns,
 				BytesPerOp: bytes,
 				MBPerSec:   float64(bytes) / ns * 1e3,
+			})
+			if verbose {
+				fmt.Fprintf(os.Stderr, "  sort4add %s %v perm=%v...\n", preset, s.src, s.perm)
+			}
+			ra := benchSort4AddShape(s)
+			nsa := float64(ra.NsPerOp())
+			report.Results = append(report.Results, metrics.KernelResult{
+				Kernel:     "sort4add",
+				Shape:      shape,
+				Workload:   preset,
+				Count:      sorts[s],
+				Iters:      ra.N,
+				NsPerOp:    nsa,
+				BytesPerOp: bytes,
+				MBPerSec:   float64(bytes) / nsa * 1e3,
 			})
 		}
 	}
@@ -176,5 +260,33 @@ func runKernels(outPath string, verbose bool) error {
 		}
 		fmt.Printf("\nwrote %s\n", outPath)
 	}
+	if basePath != "" {
+		base, err := readKernelBaseline(basePath)
+		if err != nil {
+			return err
+		}
+		msgs := report.Compare(base, 0.10)
+		if len(msgs) == 0 {
+			fmt.Printf("no regressions >10%% vs %s\n", basePath)
+			return nil
+		}
+		for _, m := range msgs {
+			fmt.Fprintf(os.Stderr, "regression: %s\n", m)
+		}
+		return fmt.Errorf("%d kernel rows regressed >10%% vs %s", len(msgs), basePath)
+	}
 	return nil
+}
+
+// readKernelBaseline loads a committed BENCH_kernels.json.
+func readKernelBaseline(path string) (*metrics.KernelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r metrics.KernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
 }

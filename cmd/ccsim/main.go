@@ -64,6 +64,7 @@ func main() {
 	schedWorkers := flag.String("schedworkers", "1,2,4,8", "comma-separated worker counts for -sched")
 	kernels := flag.Bool("kernels", false, "benchmark the dense kernels over real workload tile shapes")
 	kernelsOut := flag.String("kernelsout", "BENCH_kernels.json", "JSON baseline path for -kernels (empty to skip writing)")
+	kernelsBaseline := flag.String("kernelsbaseline", "", "committed baseline to diff the -kernels sweep against; >10% ns/op regressions fail the run")
 	profile := flag.Bool("profile", false, "print observability profiles (duration histograms, idle bubbles, comm volumes, critical path) instead of Fig 9")
 	profileOut := flag.String("profileout", "", "also write the -profile results as JSON to this file")
 	profileCores := flag.Int("profilecores", 7, "cores/node for the simulated -profile runs")
@@ -92,7 +93,7 @@ func main() {
 	}
 
 	if *kernels {
-		if err := runKernels(*kernelsOut, *verbose); err != nil {
+		if err := runKernels(*kernelsOut, *kernelsBaseline, *verbose); err != nil {
 			fatal(err)
 		}
 		return

@@ -166,7 +166,7 @@ func (b *builder) buildDFill() {
 			// Pooled: the chain accumulator is recycled by the consumer
 			// that retires it (REDUCE folds its Y branch, the serial SORT
 			// retires the chain's final C).
-			ctx.Out[0] = tensor.GetTile4Zeroed(d[0], d[1], d[2], d[3])
+			ctx.Out[0] = tensor.GetTile4ZeroedIn(ctx.Pool, d[0], d[1], d[2], d[3])
 		}
 	}
 }
@@ -302,8 +302,11 @@ func (b *builder) buildGemm() {
 			at := ctx.In[0].(*tensor.Tile4)
 			bt := ctx.In[1].(*tensor.Tile4)
 			ct := ctx.In[2].(*tensor.Tile4)
-			// dgemm('T', 'N', ...) as in Fig 1.
-			tensor.Gemm(true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, ct.AsMatrix())
+			// dgemm('T', 'N', ...) as in Fig 1. Large products split
+			// their C columns across idle workers through the runtime's
+			// lending handle; the result is bitwise identical to a
+			// serial Gemm for any part count.
+			tensor.GemmP(ctx.Par, ctx.Pool, true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, ct.AsMatrix())
 			ctx.Out[2] = ct
 		}
 	}
@@ -364,7 +367,7 @@ func (b *builder) buildReduce() {
 				yt := ctx.In[1].(*tensor.Tile4)
 				xt.AddScaled(yt, 1)
 				// The Y branch is folded here and has no other consumer.
-				tensor.PutTile4(yt)
+				tensor.PutTile4In(ctx.Pool, yt)
 			}
 			ctx.Out[0] = xt
 		}
@@ -448,19 +451,19 @@ func (b *builder) buildSort() {
 				d := p.meta.Out.Dims
 				// dst is NOT pooled: AccOrdered retains it until the
 				// ordered flush, and the fused graph shares it with the
-				// ENERGY task. The scratch tmp and the retired chain
-				// accumulator are recycled.
+				// ENERGY task. Each permutation accumulates straight
+				// into the zeroed dst via Sort4Add — bitwise identical
+				// to the old permute-into-scratch-then-AddScaled pair
+				// (one multiply, one add per element either way), minus
+				// a full tile of traffic per permutation.
 				dst := tensor.NewTile4(d[0], d[1], d[2], d[3])
-				tmp := tensor.GetTile4(d[0], d[1], d[2], d[3])
 				for _, br := range p.meta.Sorts {
-					tensor.Sort4(tmp, src, br.Perm, br.Sign)
-					dst.AddScaled(tmp, 1)
+					tensor.Sort4Add(dst, src, br.Perm, br.Sign)
 				}
-				tensor.PutTile4(tmp)
 				// The merged SORT is the single consumer of the chain's
 				// final C (the parallel-sorts variants share it across
 				// four instances and must leave it to the GC).
-				tensor.PutTile4(src)
+				tensor.PutTile4In(ctx.Pool, src)
 				ctx.Out[1] = dst
 			}
 		}

@@ -45,6 +45,19 @@ type Config struct {
 	// PaRSEC's per-node throughput saturating near 3x its one-core rate
 	// at 15 cores, which this coefficient is calibrated to. 0 disables.
 	GemmContention float64
+	// GemmTeam models intra-task parallel GEMM (the runtime's worker
+	// lending): each large GEMM kernel is split across up to GemmTeam
+	// cores of its node, finishing in 1/(1 + GemmTeamEff*(GemmTeam-1))
+	// of its serial time. The lent cores are drawn from the same node
+	// budget, so the speedup only materializes when the schedule leaves
+	// cores idle — exactly the regime lending targets. 0 or 1 disables
+	// (the default; calibrated experiment outputs are unchanged).
+	GemmTeam int
+	// GemmTeamEff is the per-extra-core efficiency of a split GEMM, in
+	// [0,1]: column partitioning duplicates A-panel packing and shares
+	// memory bandwidth, so each helper contributes less than a full
+	// core. Ignored unless GemmTeam >= 2.
+	GemmTeamEff float64
 	// GAStrideLatency is the per-contiguous-run cost of a remote Global
 	// Arrays GET/ACC, charged on the requester: a strided 4-index block
 	// moves as one message per row, and this per-message overhead is why
@@ -96,6 +109,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: GAContention = %v (must be in [0,4])", c.GAContention)
 	case c.GemmMemTraffic < 0:
 		return fmt.Errorf("cluster: GemmMemTraffic = %v (must be >= 0)", c.GemmMemTraffic)
+	case c.GemmTeam < 0 || c.GemmTeam > c.CoresPerNode:
+		return fmt.Errorf("cluster: GemmTeam = %d (must be in [0,CoresPerNode])", c.GemmTeam)
+	case c.GemmTeamEff < 0 || c.GemmTeamEff > 1:
+		return fmt.Errorf("cluster: GemmTeamEff = %v (must be in [0,1])", c.GemmTeamEff)
 	case c.CacheWarm <= 0 || c.CacheWarm > 1:
 		return fmt.Errorf("cluster: CacheWarm = %v (must be in (0,1])", c.CacheWarm)
 	}
@@ -279,6 +296,12 @@ func (m *Machine) Gemm(p *sim.Proc, node int, flops, footprintBytes int64) {
 		if scaled := m.faults.ScaleAmount(node, jf); scaled != jf {
 			m.faults.NoteExcess(node, sim.Duration((scaled-jf)/(m.Cfg.CoreGFlops*1e9)))
 			jf = scaled
+		}
+		// Intra-task team split: the kernel's serial critical path
+		// shrinks by the modeled team speedup (the lent cores' work is
+		// hidden inside this flow rather than charged separately).
+		if m.Cfg.GemmTeam >= 2 {
+			jf /= 1 + m.Cfg.GemmTeamEff*float64(m.Cfg.GemmTeam-1)
 		}
 		m.Nodes[node].GemmPS.Use(p, jf)
 	}

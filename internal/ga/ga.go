@@ -65,10 +65,33 @@ type Store struct {
 	dist    Distribution
 	tensors map[string]*tensor.BlockTensor4
 	counter atomic.Int64
-	rangeMu sync.Mutex // serializes AccRange segment updates
+	// rangeLocks stripes AccRange's serialization by (array, block):
+	// concurrent segment updates to different blocks proceed in
+	// parallel, while writers to the same block still serialize (their
+	// segments may overlap). A single global mutex here was the hottest
+	// lock in the parallel-writes graphs.
+	rangeLocks [rangeStripes]sync.Mutex
 
 	accMu   sync.Mutex // guards pending ordered accumulations
 	pending map[string]map[tensor.BlockKey][]orderedAcc
+}
+
+// rangeStripes is the AccRange lock-stripe count: enough that tens of
+// workers hashing random (array, block) pairs rarely collide, small
+// enough to stay a few cache lines.
+const rangeStripes = 64
+
+// rangeLock returns the stripe serializing updates to one block, chosen
+// by the same FNV hash family as Owner.
+func (s *Store) rangeLock(name string, key tensor.BlockKey) *sync.Mutex {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	for _, k := range key {
+		h = (h ^ uint64(uint32(k))) * 1099511628211
+	}
+	return &s.rangeLocks[h%rangeStripes]
 }
 
 // orderedAcc is one buffered AccOrdered contribution awaiting the
@@ -150,11 +173,10 @@ func (s *Store) AccRange(name string, key tensor.BlockKey, src *tensor.Tile4, sc
 	}
 	bt := s.Array(name)
 	dst := bt.GetOrCreate(key, src.Dim)
-	s.rangeMu.Lock()
-	for i := lo; i < hi; i++ {
-		dst.Data[i] += scale * src.Data[i]
-	}
-	s.rangeMu.Unlock()
+	mu := s.rangeLock(name, key)
+	mu.Lock()
+	tensor.Axpy(dst.Data[lo:hi], src.Data[lo:hi], scale)
+	mu.Unlock()
 	return nil
 }
 
@@ -216,9 +238,7 @@ func (s *Store) flushOrdered(name string, bt *tensor.BlockTensor4) {
 			if n > 0 && accs[n-1] == a {
 				continue
 			}
-			for i := a.lo; i < a.hi; i++ {
-				dst.Data[i] += a.scale * a.src.Data[i]
-			}
+			tensor.Axpy(dst.Data[a.lo:a.hi], a.src.Data[a.lo:a.hi], a.scale)
 		}
 	}
 }

@@ -40,10 +40,49 @@ type KernelReport struct {
 	Title string `json:"title"`
 	// GoVersion, Arch and CPUs pin the environment the baseline was
 	// taken on; compare like with like.
-	GoVersion string         `json:"go_version"`
-	Arch      string         `json:"arch"`
-	CPUs      int            `json:"cpus"`
-	Results   []KernelResult `json:"results"`
+	GoVersion string `json:"go_version"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	// Tier is the micro-kernel dispatch tier the sweep ran on
+	// ("portable", "avx2", "avx512"); empty in baselines taken before
+	// tiered dispatch existed.
+	Tier    string         `json:"tier,omitempty"`
+	Results []KernelResult `json:"results"`
+}
+
+// Compare checks this report against a baseline and returns one message
+// per kernel row that regressed: same (kernel, shape, workload) key,
+// ns/op more than tolFrac above the baseline's. Rows new in either
+// report are ignored (the sweep tracks workloads, so keys come and go),
+// as is everything when the environments differ — cross-machine or
+// cross-tier ns/op comparisons would flag hardware, not code.
+func (r *KernelReport) Compare(base *KernelReport, tolFrac float64) []string {
+	if base == nil {
+		return nil
+	}
+	if r.Arch != base.Arch || r.CPUs != base.CPUs || r.Tier != base.Tier {
+		return []string{fmt.Sprintf(
+			"environment changed (%s/%d cpus/%q vs %s/%d cpus/%q): baseline not comparable, skipping row checks",
+			r.Arch, r.CPUs, r.Tier, base.Arch, base.CPUs, base.Tier)}
+	}
+	type key struct{ kernel, shape, workload string }
+	old := make(map[key]KernelResult, len(base.Results))
+	for _, res := range base.Results {
+		old[key{res.Kernel, res.Shape, res.Workload}] = res
+	}
+	var msgs []string
+	for _, res := range r.Results {
+		b, ok := old[key{res.Kernel, res.Shape, res.Workload}]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if res.NsPerOp > b.NsPerOp*(1+tolFrac) {
+			msgs = append(msgs, fmt.Sprintf("%s %s (%s): %.0f ns/op vs baseline %.0f (+%.1f%%)",
+				res.Kernel, res.Shape, res.Workload, res.NsPerOp, b.NsPerOp,
+				100*(res.NsPerOp/b.NsPerOp-1)))
+		}
+	}
+	return msgs
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -55,7 +94,11 @@ func (r *KernelReport) WriteJSON(w io.Writer) error {
 
 // WriteTable writes the report as an aligned text table.
 func (r *KernelReport) WriteTable(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%s\ngo %s %s, %d cpus\n\n", r.Title, r.GoVersion, r.Arch, r.CPUs); err != nil {
+	env := fmt.Sprintf("go %s %s, %d cpus", r.GoVersion, r.Arch, r.CPUs)
+	if r.Tier != "" {
+		env += ", " + r.Tier + " kernels"
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n\n", r.Title, env); err != nil {
 		return err
 	}
 	header := fmt.Sprintf("%-7s %-34s %-13s %6s %12s %10s %9s",

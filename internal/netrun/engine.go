@@ -8,6 +8,7 @@ import (
 
 	"parsec/internal/ptg"
 	"parsec/internal/sched"
+	"parsec/internal/tensor/pool"
 )
 
 // engine is one rank's local executor: the shared scheduling core
@@ -25,10 +26,15 @@ type engine struct {
 	tr    *ptg.Tracker
 	start time.Time
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	set     *sched.Set
-	rngs    []sched.RNG
+	mu   sync.Mutex
+	cond *sync.Cond
+	set  *sched.Set
+	rngs []sched.RNG
+	// locals are the per-worker scratch shards for pooled kernel
+	// buffers (task bodies reach them through Ctx.Pool). Intra-task
+	// lending (Ctx.Par) stays nil here: a rank's workers are few and
+	// remote steals already balance coarse work.
+	locals  []*pool.Local
 	stopped bool
 	failed  error
 	stopCh  chan struct{}
@@ -68,6 +74,7 @@ func newEngine(cfg Config, rank int, tp *transport, tr *ptg.Tracker) *engine {
 		tr:         tr,
 		start:      time.Now(),
 		rngs:       make([]sched.RNG, cfg.Workers),
+		locals:     make([]*pool.Local, cfg.Workers),
 		stopCh:     make(chan struct{}),
 		owned:      make([]bool, cfg.Ranks),
 		adopted:    make(map[*ptg.Instance]bool),
@@ -80,6 +87,7 @@ func newEngine(cfg Config, rank int, tp *transport, tr *ptg.Tracker) *engine {
 	e.owned[rank] = true
 	for w := range e.rngs {
 		e.rngs[w] = sched.NewRNG(w)
+		e.locals[w] = pool.NewLocal()
 	}
 	e.set = sched.NewSet(cfg.Workers, cfg.Policy, cfg.Queues, e, cfg.SchedObserver)
 	return e
@@ -127,8 +135,14 @@ func (e *engine) stop() {
 	e.mu.Unlock()
 }
 
-// wait joins the worker goroutines after stop.
-func (e *engine) wait() { e.wg.Wait() }
+// wait joins the worker goroutines after stop and returns their scratch
+// shards to the shared pool.
+func (e *engine) wait() {
+	e.wg.Wait()
+	for _, loc := range e.locals {
+		loc.Drain()
+	}
+}
 
 // fail records the first fatal error, halts the rank, and reports the
 // failure to the coordinator.
@@ -249,6 +263,7 @@ func (e *engine) execute(wid int, in *ptg.Instance) {
 		Seq:  in.Seq,
 		In:   in.In,
 		Out:  make([]any, len(in.In)),
+		Pool: e.locals[wid],
 	}
 	copy(ctx.Out, in.In)
 	if delay := e.cfg.TaskDelay; delay != nil {

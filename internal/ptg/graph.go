@@ -26,6 +26,9 @@ package ptg
 import (
 	"fmt"
 	"sort"
+
+	"parsec/internal/team"
+	"parsec/internal/tensor/pool"
 )
 
 // MaxParams is the maximum number of task-class parameters.
@@ -140,6 +143,15 @@ type Ctx struct {
 	// prefilled with In; bodies overwrite entries for flows whose data
 	// they produce or replace.
 	Out []any
+
+	// Pool is the executing worker's scratch shard for pooled tile and
+	// panel buffers; nil when the executor provides none (bodies fall
+	// back to the shared pool — tensor's *In helpers accept nil).
+	Pool *pool.Local
+	// Par is the intra-task parallelism handle of the executing runtime:
+	// kernels that can split one task across idle workers (tensor.GemmP)
+	// span through it. nil means run serially.
+	Par team.Parallelism
 
 	// err is the first failure recorded by Fail; the runtime surfaces it
 	// as a task error after the body returns.

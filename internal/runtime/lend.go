@@ -1,0 +1,168 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parsec/internal/tensor/pool"
+)
+
+// Worker lending: the runtime-side implementation of team.Parallelism
+// (DESIGN.md §13). A task body that reaches a kernel large enough to
+// split calls Span on its Ctx.Par handle; the runtime publishes the
+// span, wakes parked workers, and lets them volunteer for parts. The
+// protocol is deadlock-free by construction:
+//
+//   - The spanning worker claims parts in the same loop as helpers, so a
+//     span completes even if zero workers ever volunteer (all busy, all
+//     lent, or a one-worker run).
+//   - Helpers volunteer only when their own task search came up empty
+//     (tryGet returned nil), so lending never delays ready graph tasks
+//     and never oversubscribes the worker count.
+//   - Parts are claimed by a single atomic counter; a helper that loses
+//     every claim race simply goes back to its normal loop.
+//
+// Publishing a span and parking follow the same Dekker pattern as
+// enqueue: the publisher bumps the active-span count before scanning for
+// parked workers, and a parking worker re-checks the count after
+// publishing its parked flag, so a wake is never lost between them.
+
+// spanJob is one published intra-task parallel region.
+type spanJob struct {
+	f     func(part int, scratch *pool.Local)
+	parts int32
+	// next is the claim counter: part i belongs to whoever's Add returns
+	// i. Claims past parts-1 mean the span is exhausted.
+	next atomic.Int32
+	// live counts claimed-but-unfinished parts plus one publication
+	// token, so done closes exactly once, after the last part returns.
+	live atomic.Int32
+	done chan struct{}
+}
+
+// lendState tracks the spans that still have unclaimed parts.
+type lendState struct {
+	mu    sync.Mutex
+	spans []*spanJob
+	// n mirrors len(spans) for lock-free emptiness checks in the worker
+	// loop and the park recheck.
+	n atomic.Int64
+}
+
+// publish registers a span and wakes up to parts-1 parked workers to
+// volunteer for it.
+func (r *runner) publish(sp *spanJob) {
+	r.lend.mu.Lock()
+	r.lend.spans = append(r.lend.spans, sp)
+	r.lend.n.Add(1)
+	r.lend.mu.Unlock()
+	need := int(sp.parts) - 1
+	for w := 0; w < len(r.ws) && need > 0; w++ {
+		if r.nparked.Load() == 0 {
+			return
+		}
+		if r.wake(w) {
+			need--
+		}
+	}
+}
+
+// retire removes an exhausted span from the active list. Exactly one
+// claimer calls it: the one whose claim returned the final part.
+func (r *runner) retire(sp *spanJob) {
+	r.lend.mu.Lock()
+	for i, s := range r.lend.spans {
+		if s == sp {
+			last := len(r.lend.spans) - 1
+			r.lend.spans[i] = r.lend.spans[last]
+			r.lend.spans[last] = nil
+			r.lend.spans = r.lend.spans[:last]
+			r.lend.n.Add(-1)
+			break
+		}
+	}
+	r.lend.mu.Unlock()
+}
+
+// runParts claims and executes parts of sp until the claim counter is
+// exhausted, using the given worker's scratch shard. Returns the number
+// of parts executed.
+func (r *runner) runParts(sp *spanJob, ws *workerState) int {
+	ran := 0
+	for {
+		i := sp.next.Add(1) - 1
+		if i >= sp.parts {
+			return ran
+		}
+		if i == sp.parts-1 {
+			r.retire(sp)
+		}
+		sp.f(int(i), ws.loc)
+		ran++
+		if sp.live.Add(-1) == 0 {
+			close(sp.done)
+		}
+	}
+}
+
+// hasHelp reports whether any span has unclaimed parts, for the park
+// recheck and the worker loop's cheap gate.
+func (r *runner) hasHelp() bool { return r.lend.n.Load() > 0 }
+
+// tryHelp lets an idle worker volunteer for a published span. Returns
+// true if it executed at least one part.
+func (r *runner) tryHelp(id int) bool {
+	if !r.hasHelp() {
+		return false
+	}
+	r.lend.mu.Lock()
+	var sp *spanJob
+	for _, s := range r.lend.spans {
+		if s.next.Load() < s.parts {
+			sp = s
+			break
+		}
+	}
+	r.lend.mu.Unlock()
+	if sp == nil {
+		return false
+	}
+	ws := &r.ws[id]
+	ran := r.runParts(sp, ws)
+	ws.helped += int64(ran)
+	return ran > 0
+}
+
+// workerTeam is the team.Parallelism handle handed to task bodies: spans
+// split across the run's workers via the lending protocol.
+type workerTeam struct {
+	r  *runner
+	id int // the worker executing the spanning task
+}
+
+// Workers returns the worker count of the run: the natural upper bound
+// for part counts.
+func (t workerTeam) Workers() int { return len(t.r.ws) }
+
+// Span runs f(0..parts-1) across the spanning worker and any volunteers,
+// returning when every part has finished. parts <= 1 runs inline.
+func (t workerTeam) Span(parts int, f func(part int, scratch *pool.Local)) {
+	r := t.r
+	ws := &r.ws[t.id]
+	if parts <= 1 {
+		f(0, ws.loc)
+		return
+	}
+	sp := &spanJob{f: f, parts: int32(parts), done: make(chan struct{})}
+	// parts claim tokens plus the publication token released below: done
+	// cannot close before the caller is finished claiming.
+	sp.live.Store(int32(parts) + 1)
+	r.publish(sp)
+	ws.spans++
+	r.runParts(sp, ws)
+	if sp.live.Add(-1) != 0 {
+		// Helpers still hold parts; wait without burning the CPU — they
+		// are running on other workers by definition.
+		<-sp.done
+	}
+}

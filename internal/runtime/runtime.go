@@ -30,6 +30,7 @@ import (
 
 	"parsec/internal/ptg"
 	"parsec/internal/sched"
+	"parsec/internal/tensor/pool"
 )
 
 // Event records one task execution for tracing.
@@ -77,6 +78,12 @@ type SchedStats struct {
 	// delivered by enqueuers (stop-time broadcasts are not counted).
 	Parks int64
 	Wakes int64
+	// LendSpans counts intra-task parallel regions published by task
+	// bodies (team.Parallelism.Span with parts > 1); LendHelped counts
+	// span parts executed by volunteering idle workers — parts the
+	// spanning worker ran itself are not helped.
+	LendSpans  int64
+	LendHelped int64
 	// PerWorkerTasks is the number of task bodies each worker executed.
 	PerWorkerTasks []int64
 	// MaxQueueDepth is the deepest any single shard grew.
@@ -137,6 +144,14 @@ type workerState struct {
 	byClass   map[string]int
 	scratch   []*ptg.Instance   // reusable ready-successor buffer
 	buckets   [][]*ptg.Instance // reusable per-shard batch buckets
+	// loc is the worker's scratch shard for pooled kernel buffers:
+	// single-owner Get/Put cycles stay on this unsynchronized free list
+	// instead of the shared size-class pool.
+	loc *pool.Local
+	// spans counts parallel regions this worker's tasks published;
+	// helped counts span parts this worker ran for other workers' tasks.
+	spans  int64
+	helped int64
 }
 
 // Run executes the graph to completion and returns a report. Execution is
@@ -169,6 +184,7 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 		r.ws[i].park = make(chan struct{}, 1)
 		r.ws[i].rng = sched.NewRNG(i)
 		r.ws[i].byClass = make(map[string]int)
+		r.ws[i].loc = pool.NewLocal()
 	}
 
 	initial := tr.InitialReady()
@@ -214,9 +230,12 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 		rep.Sched.Parks += ws.parks
 		rep.Sched.StealAttempts += ws.probes
 		rep.Sched.Steals += ws.steals
+		rep.Sched.LendSpans += ws.spans
+		rep.Sched.LendHelped += ws.helped
 		for c, n := range ws.byClass {
 			rep.ByClass[c] += n
 		}
+		ws.loc.Drain()
 	}
 	rep.Sched.Wakes = r.wakes.Load()
 	for i := range r.shards {
@@ -241,6 +260,9 @@ type runner struct {
 	pending atomic.Int64
 	stop    atomic.Bool
 	wakes   atomic.Int64
+	// lend tracks intra-task parallel regions with unclaimed parts
+	// (lend.go).
+	lend lendState
 	// nparked counts workers currently parked, letting enqueuers skip the
 	// wake scan entirely when every worker is busy (the common case on a
 	// loaded system). A worker increments it after publishing parked and
@@ -517,7 +539,7 @@ func (r *runner) park(id int) {
 	ws.parks++
 	ws.parked.Store(true)
 	r.nparked.Add(1)
-	if r.stop.Load() || r.hasWork(id) {
+	if r.stop.Load() || r.hasWork(id) || r.hasHelp() {
 		r.unparkSelf(ws)
 		return
 	}
@@ -553,6 +575,11 @@ func (r *runner) work(id int) {
 		}
 		in := r.tryGet(id)
 		if in == nil {
+			// No ready task anywhere: volunteer for a published span
+			// before sleeping — lending only ever recruits idle workers.
+			if r.tryHelp(id) {
+				continue
+			}
 			r.Idle(id)
 			continue
 		}
@@ -575,6 +602,8 @@ func (r *runner) execute(worker int, in *ptg.Instance) error {
 		Seq:  in.Seq,
 		In:   in.In,
 		Out:  make([]any, len(in.In)),
+		Pool: ws.loc,
+		Par:  workerTeam{r: r, id: worker},
 	}
 	copy(ctx.Out, in.In)
 	obs := r.cfg.Observer

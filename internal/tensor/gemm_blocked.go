@@ -2,21 +2,32 @@ package tensor
 
 import "parsec/internal/tensor/pool"
 
-// Cache-blocked packed GEMM (DESIGN.md §8). The triple loop is tiled
-// BLIS-style over (n, k, m) with block sizes (gemmNC, gemmKC, gemmMC);
-// inside a block, panels of op(A) and op(B) are packed into contiguous
-// scratch laid out in micro-panel strips, so every trans variant runs the
-// same register-blocked micro-kernel on unit-stride data: a 4x8
-// AVX2+FMA block when the CPU supports it (gemm_kernel_amd64.s), else a
-// portable 4x4 block of scalar accumulators. alpha is folded into the A
-// packing. Tiny products fall back to the direct loops in matrix.go (the
-// water tiles are 2–9 wide; packing would cost more than it saves).
+// Cache-blocked packed GEMM (DESIGN.md §8, §13). The triple loop is
+// tiled BLIS-style over (n, k, m) with block sizes (gemmNC, gemmKC,
+// gemmMC); inside a block, panels of op(A) and op(B) are packed into
+// contiguous scratch laid out in micro-panel strips, so every trans
+// variant runs the same register-blocked micro-kernel on unit-stride
+// data. The micro-kernel comes from the active dispatch tier
+// (kernel_tier.go): an 8x16 zmm FMA block on AVX-512F hardware, a 4x8
+// AVX2+FMA block below that, else a portable 4x4 block of scalar
+// accumulators. alpha is folded into the A packing. Tiny products fall
+// back to the direct loops in matrix.go (the water tiles are 2–9 wide;
+// packing would cost more than it saves).
+//
+// The n loop accepts an arbitrary column window [j0, j1), which is how
+// GemmP (gemm_parallel.go) splits one product across a worker team:
+// every C element is still accumulated by exactly one part in the same
+// k order, so a split product is bitwise identical to a serial one.
 const (
-	gemmMR = 4 // micro-kernel rows: C rows accumulated in registers
+	gemmMR = 4 // portable and AVX2 micro-kernel rows
 	gemmNR = 4 // portable micro-kernel cols
 	// gemmNRAsm is the AVX2 micro-kernel width: eight columns, two YMM
 	// accumulators per row.
 	gemmNRAsm = 8
+	// gemmMR512 x gemmNR512 is the AVX-512 micro-kernel: eight rows of
+	// sixteen columns, two ZMM accumulators per row.
+	gemmMR512 = 8
+	gemmNR512 = 16
 	// gemmMC x gemmKC is the packed A panel (256 KiB, L2-resident).
 	gemmMC = 128
 	gemmKC = 256
@@ -27,35 +38,56 @@ const (
 	gemmBlockCutoff = 32 * 32 * 32
 )
 
+// gemmTierShape returns the (mr, nr) register block of the active tier.
+func gemmTierShape() (mr, nr int) {
+	switch activeTier {
+	case TierAVX512:
+		return gemmMR512, gemmNR512
+	case TierAVX2:
+		return gemmMR, gemmNRAsm
+	default:
+		return gemmMR, gemmNR
+	}
+}
+
 // gemmBlocked computes C += alpha*op(A)*op(B) over pre-beta-scaled C.
 func gemmBlocked(transA, transB bool, alpha float64, a, b, c *Matrix) {
-	m, k := opDims(a, transA)
-	n := c.Cols
-	nr := gemmNR
-	if haveGemmAsm {
-		nr = gemmNRAsm
-	}
+	gemmBlockedCols(transA, transB, alpha, a, b, c, 0, c.Cols, nil)
+}
 
-	// Packing scratch, recycled through the size-class pool.
-	ncMax := min2(n, gemmNC)
+// gemmBlockedCols runs the blocked kernel over the C column window
+// [j0, j1), drawing packing scratch from loc (nil means the shared
+// pool). It is the unit of intra-task parallelism: GemmP runs disjoint
+// windows concurrently, each on its executing worker's scratch shard.
+func gemmBlockedCols(transA, transB bool, alpha float64, a, b, c *Matrix, j0, j1 int, loc *pool.Local) {
+	m, k := opDims(a, transA)
+	tier := activeTier
+	mr, nr := gemmTierShape()
+
+	// Packing scratch, recycled through the worker-local shard when one
+	// is supplied, else the shared size-class pool.
+	ncMax := min2(j1-j0, gemmNC)
 	kcMax := min2(k, gemmKC)
 	mcMax := min2(m, gemmMC)
-	aPack := pool.Get(roundUp(mcMax, gemmMR) * kcMax)
-	bPack := pool.Get(roundUp(ncMax, nr) * kcMax)
-	defer pool.Put(aPack)
-	defer pool.Put(bPack)
+	aPack := loc.Get(roundUp(mcMax, mr) * kcMax)
+	bPack := loc.Get(roundUp(ncMax, nr) * kcMax)
+	defer loc.Put(aPack)
+	defer loc.Put(bPack)
 
-	for jc := 0; jc < n; jc += gemmNC {
-		ncEff := min2(gemmNC, n-jc)
+	for jc := j0; jc < j1; jc += gemmNC {
+		ncEff := min2(gemmNC, j1-jc)
 		for pc := 0; pc < k; pc += gemmKC {
 			kcEff := min2(gemmKC, k-pc)
 			packB(transB, b, pc, jc, kcEff, ncEff, nr, bPack)
 			for ic := 0; ic < m; ic += gemmMC {
 				mcEff := min2(gemmMC, m-ic)
-				packA(transA, alpha, a, ic, pc, mcEff, kcEff, aPack)
-				if haveGemmAsm {
+				packA(transA, alpha, a, ic, pc, mcEff, kcEff, mr, aPack)
+				switch tier {
+				case TierAVX512:
+					gemmMacroAsm512(aPack, bPack, c, ic, jc, mcEff, ncEff, kcEff)
+				case TierAVX2:
 					gemmMacroAsm(aPack, bPack, c, ic, jc, mcEff, ncEff, kcEff)
-				} else {
+				default:
 					gemmMacro(aPack, bPack, c, ic, jc, mcEff, ncEff, kcEff)
 				}
 			}
@@ -73,34 +105,33 @@ func min2(a, b int) int {
 }
 
 // packA copies the (ic:ic+mcEff, pc:pc+kcEff) panel of op(A), scaled by
-// alpha, into dst as gemmMR-row strips: strip s holds rows ic+s*MR.. and
-// is laid out k-major, dst[s*kcEff*MR + p*MR + r] = alpha*op(A)[ic+s*MR+r,
+// alpha, into dst as mr-row strips: strip s holds rows ic+s*mr.. and is
+// laid out k-major, dst[s*kcEff*mr + p*mr + r] = alpha*op(A)[ic+s*mr+r,
 // pc+p]. Short final strips are zero-padded so the micro-kernel never
 // branches on the row count.
-func packA(transA bool, alpha float64, a *Matrix, ic, pc, mcEff, kcEff int, dst []float64) {
+func packA(transA bool, alpha float64, a *Matrix, ic, pc, mcEff, kcEff, mr int, dst []float64) {
 	lda := a.Cols
 	if transA {
 		// A is k x m row-major; op(A)[i,p] = A[p,i]: each p contributes
-		// gemmMR consecutive source elements.
-		for s := 0; s*gemmMR < mcEff; s++ {
-			i0 := ic + s*gemmMR
-			rows := min2(gemmMR, ic+mcEff-i0)
-			out := dst[s*kcEff*gemmMR:]
-			if rows == gemmMR {
+		// mr consecutive source elements.
+		for s := 0; s*mr < mcEff; s++ {
+			i0 := ic + s*mr
+			rows := min2(mr, ic+mcEff-i0)
+			out := dst[s*kcEff*mr:]
+			if rows == mr {
 				for p := 0; p < kcEff; p++ {
-					src := a.Data[(pc+p)*lda+i0 : (pc+p)*lda+i0+gemmMR]
-					o := out[p*gemmMR : p*gemmMR+gemmMR]
-					o[0] = alpha * src[0]
-					o[1] = alpha * src[1]
-					o[2] = alpha * src[2]
-					o[3] = alpha * src[3]
+					src := a.Data[(pc+p)*lda+i0 : (pc+p)*lda+i0+mr]
+					o := out[p*mr : p*mr+mr]
+					for r, v := range src {
+						o[r] = alpha * v
+					}
 				}
 				continue
 			}
 			for p := 0; p < kcEff; p++ {
 				src := a.Data[(pc+p)*lda+i0:]
-				o := out[p*gemmMR : (p+1)*gemmMR]
-				for r := 0; r < gemmMR; r++ {
+				o := out[p*mr : (p+1)*mr]
+				for r := 0; r < mr; r++ {
 					if r < rows {
 						o[r] = alpha * src[r]
 					} else {
@@ -111,33 +142,22 @@ func packA(transA bool, alpha float64, a *Matrix, ic, pc, mcEff, kcEff int, dst 
 		}
 		return
 	}
-	// A is m x k row-major; a strip interleaves gemmMR row slices.
-	for s := 0; s*gemmMR < mcEff; s++ {
-		i0 := ic + s*gemmMR
-		rows := min2(gemmMR, ic+mcEff-i0)
-		out := dst[s*kcEff*gemmMR:]
-		if rows == gemmMR {
-			r0 := a.Data[(i0+0)*lda+pc : (i0+0)*lda+pc+kcEff]
-			r1 := a.Data[(i0+1)*lda+pc : (i0+1)*lda+pc+kcEff]
-			r2 := a.Data[(i0+2)*lda+pc : (i0+2)*lda+pc+kcEff]
-			r3 := a.Data[(i0+3)*lda+pc : (i0+3)*lda+pc+kcEff]
-			for p := 0; p < kcEff; p++ {
-				o := out[p*gemmMR : p*gemmMR+gemmMR]
-				o[0] = alpha * r0[p]
-				o[1] = alpha * r1[p]
-				o[2] = alpha * r2[p]
-				o[3] = alpha * r3[p]
-			}
-			continue
-		}
-		for p := 0; p < kcEff; p++ {
-			o := out[p*gemmMR : (p+1)*gemmMR]
-			for r := 0; r < gemmMR; r++ {
-				if r < rows {
-					o[r] = alpha * a.Data[(i0+r)*lda+pc+p]
-				} else {
-					o[r] = 0
+	// A is m x k row-major; a strip interleaves mr row slices: row r of
+	// the strip scatters into dst with stride mr.
+	for s := 0; s*mr < mcEff; s++ {
+		i0 := ic + s*mr
+		rows := min2(mr, ic+mcEff-i0)
+		out := dst[s*kcEff*mr : s*kcEff*mr+kcEff*mr]
+		for r := 0; r < mr; r++ {
+			if r >= rows {
+				for p := 0; p < kcEff; p++ {
+					out[p*mr+r] = 0
 				}
+				continue
+			}
+			src := a.Data[(i0+r)*lda+pc : (i0+r)*lda+pc+kcEff]
+			for p, v := range src {
+				out[p*mr+r] = alpha * v
 			}
 		}
 	}
@@ -215,6 +235,46 @@ func gemmMacroAsm(aPack, bPack []float64, c *Matrix, ic, jc, mcEff, ncEff, kcEff
 					crow[5] += av[5]
 					crow[6] += av[6]
 					crow[7] += av[7]
+				}
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				crow := c.Data[(i0+r)*ldc+j0:]
+				for j := 0; j < cols; j++ {
+					crow[j] += acc[r*nr+j]
+				}
+			}
+		}
+	}
+}
+
+// gemmMacroAsm512 runs the AVX-512 micro-kernel over one packed panel
+// pair, accumulating into the C block at (ic, jc). The kernel always
+// computes a full 8x16 tile into a stack block; the write-back loop
+// trims edges.
+func gemmMacroAsm512(aPack, bPack []float64, c *Matrix, ic, jc, mcEff, ncEff, kcEff int) {
+	const (
+		mr = gemmMR512
+		nr = gemmNR512
+	)
+	ldc := c.Cols
+	var acc [mr * nr]float64
+	for jr := 0; jr*nr < ncEff; jr++ {
+		j0 := jc + jr*nr
+		cols := min2(nr, jc+ncEff-j0)
+		bp := bPack[jr*kcEff*nr : (jr+1)*kcEff*nr]
+		for ir := 0; ir*mr < mcEff; ir++ {
+			i0 := ic + ir*mr
+			rows := min2(mr, ic+mcEff-i0)
+			ap := aPack[ir*kcEff*mr : (ir+1)*kcEff*mr]
+			gemmAsm8x16(int64(kcEff), &ap[0], &bp[0], &acc[0])
+			if rows == mr && cols == nr {
+				for r := 0; r < mr; r++ {
+					crow := c.Data[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+nr]
+					av := acc[r*nr : r*nr+nr]
+					for j, v := range av {
+						crow[j] += v
+					}
 				}
 				continue
 			}

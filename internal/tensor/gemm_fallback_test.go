@@ -1,5 +1,3 @@
-//go:build amd64 && !purego
-
 package tensor
 
 import (
@@ -8,14 +6,13 @@ import (
 )
 
 // TestGemmBlockedPortableFallback forces the pure-Go 4x4 micro-kernel on
-// machines where the assembly path would normally run, so the fallback
+// machines where an assembly tier would normally run, so the fallback
 // taken on non-AVX2 hardware keeps correctness coverage.
 func TestGemmBlockedPortableFallback(t *testing.T) {
-	if !haveGemmAsm {
-		t.Skip("no asm support: the portable path is already under test")
+	if ActiveKernelTier() == TierPortable {
+		t.Skip("portable tier already active: the fallback is already under test")
 	}
-	haveGemmAsm = false
-	defer func() { haveGemmAsm = true }()
+	defer setKernelTier(TierPortable)()
 
 	rng := rand.New(rand.NewSource(42))
 	for _, s := range [][3]int{{40, 40, 40}, {121, 121, 121}, {130, 37, 257}} {

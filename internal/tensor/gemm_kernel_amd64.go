@@ -9,18 +9,39 @@ package tensor
 //go:noescape
 func gemmAsm4x8(kc int64, a, b, acc *float64)
 
+// gemmAsm8x16 is the AVX-512F micro-kernel (gemm_kernel_amd64.s): it
+// fills a contiguous 8x16 accumulator block from packed kc x 8 A and
+// kc x 16 B panels using zmm FMA.
+//
+//go:noescape
+func gemmAsm8x16(kc int64, a, b, acc *float64)
+
+// axpyAsm accumulates dst[i] += scale*src[i] for i in [0, n) with
+// unfused 256-bit multiply and add, so the result is bitwise identical
+// to the scalar loop. n must be a positive multiple of 8.
+//
+//go:noescape
+func axpyAsm(n int64, dst, src *float64, scale float64)
+
+// scaleAsm assigns dst[i] = scale*src[i] for i in [0, n). n must be a
+// positive multiple of 8.
+//
+//go:noescape
+func scaleAsm(n int64, dst, src *float64, scale float64)
+
 func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
 func xgetbv0() uint64
 
-// haveGemmAsm reports FMA + AVX2 with OS-enabled YMM state, the
-// prerequisites of gemmAsm4x8.
-var haveGemmAsm = detectGemmAsm()
+// hwKernelTier is the best tier this CPU and OS can run, probed once.
+var hwTierDetected = probeHWTier()
 
-func detectGemmAsm() bool {
+func hwKernelTier() KernelTier { return hwTierDetected }
+
+func probeHWTier() KernelTier {
 	maxID, _, _, _ := cpuidRaw(0, 0)
 	if maxID < 7 {
-		return false
+		return TierPortable
 	}
 	_, _, ecx1, _ := cpuidRaw(1, 0)
 	const (
@@ -29,13 +50,25 @@ func detectGemmAsm() bool {
 		avxBit     = 1 << 28
 	)
 	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
-		return false
+		return TierPortable
 	}
+	xcr0 := xgetbv0()
 	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state.
-	if xgetbv0()&0x6 != 0x6 {
-		return false
+	if xcr0&0x6 != 0x6 {
+		return TierPortable
 	}
 	_, ebx7, _, _ := cpuidRaw(7, 0)
-	const avx2Bit = 1 << 5
-	return ebx7&avx2Bit != 0
+	const (
+		avx2Bit    = 1 << 5
+		avx512fBit = 1 << 16
+	)
+	if ebx7&avx2Bit == 0 {
+		return TierPortable
+	}
+	// AVX-512 needs the F foundation plus XCR0 bits 5-7 (opmask,
+	// ZMM_Hi256, Hi16_ZMM): the OS saves full zmm state.
+	if ebx7&avx512fBit != 0 && xcr0&0xe0 == 0xe0 {
+		return TierAVX512
+	}
+	return TierAVX2
 }

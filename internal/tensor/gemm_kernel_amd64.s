@@ -1,7 +1,8 @@
-// AVX2+FMA micro-kernel for the cache-blocked packed GEMM
-// (gemm_blocked.go). Only entered when detectGemmAsm reports FMA, AVX2,
-// and OS YMM state support; every other configuration runs the pure-Go
-// 4x4 micro-kernel.
+// Assembly micro-kernels for the cache-blocked packed GEMM
+// (gemm_blocked.go) and the accumulate kernels (axpy.go): the AVX2+FMA
+// 4x8 GEMM block, the AVX-512F 8x16 GEMM block, and the 256-bit
+// unfused axpy/scale loops. Entry is gated by probeHWTier (CPUID +
+// XCR0); every unsupported configuration runs the pure-Go paths.
 
 //go:build amd64 && !purego
 
@@ -67,6 +68,157 @@ done:
 	VMOVUPD Y5, 160(DX)
 	VMOVUPD Y6, 192(DX)
 	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func gemmAsm8x16(kc int64, a, b, acc *float64)
+//
+// Computes a full 8x16 block acc[r*16+j] = sum_p a[p*8+r] * b[p*16+j]
+// over the packed panels a (kc x 8, row-minor) and b (kc x 16), the
+// AVX-512 tier above the 4x8 AVX2 kernel. Per C element the FMA
+// sequence is identical to gemmAsm4x8's (ascending p, one fused
+// multiply-add each), so the two tiers produce bitwise-equal results.
+//
+// Register plan: Z0..Z15 hold the 8x16 accumulator block (two ZMM per
+// row), Z16/Z17 the current sixteen b values, Z18 the broadcast a
+// value. Requires only AVX-512F.
+TEXT ·gemmAsm8x16(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	VPXORQ Z8, Z8, Z8
+	VPXORQ Z9, Z9, Z9
+	VPXORQ Z10, Z10, Z10
+	VPXORQ Z11, Z11, Z11
+	VPXORQ Z12, Z12, Z12
+	VPXORQ Z13, Z13, Z13
+	VPXORQ Z14, Z14, Z14
+	VPXORQ Z15, Z15, Z15
+
+	TESTQ CX, CX
+	JZ    done512
+
+loop512:
+	VMOVUPD (DI), Z16
+	VMOVUPD 64(DI), Z17
+
+	VBROADCASTSD (SI), Z18
+	VFMADD231PD Z16, Z18, Z0
+	VFMADD231PD Z17, Z18, Z1
+
+	VBROADCASTSD 8(SI), Z18
+	VFMADD231PD Z16, Z18, Z2
+	VFMADD231PD Z17, Z18, Z3
+
+	VBROADCASTSD 16(SI), Z18
+	VFMADD231PD Z16, Z18, Z4
+	VFMADD231PD Z17, Z18, Z5
+
+	VBROADCASTSD 24(SI), Z18
+	VFMADD231PD Z16, Z18, Z6
+	VFMADD231PD Z17, Z18, Z7
+
+	VBROADCASTSD 32(SI), Z18
+	VFMADD231PD Z16, Z18, Z8
+	VFMADD231PD Z17, Z18, Z9
+
+	VBROADCASTSD 40(SI), Z18
+	VFMADD231PD Z16, Z18, Z10
+	VFMADD231PD Z17, Z18, Z11
+
+	VBROADCASTSD 48(SI), Z18
+	VFMADD231PD Z16, Z18, Z12
+	VFMADD231PD Z17, Z18, Z13
+
+	VBROADCASTSD 56(SI), Z18
+	VFMADD231PD Z16, Z18, Z14
+	VFMADD231PD Z17, Z18, Z15
+
+	ADDQ $64, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  loop512
+
+done512:
+	VMOVUPD Z0, (DX)
+	VMOVUPD Z1, 64(DX)
+	VMOVUPD Z2, 128(DX)
+	VMOVUPD Z3, 192(DX)
+	VMOVUPD Z4, 256(DX)
+	VMOVUPD Z5, 320(DX)
+	VMOVUPD Z6, 384(DX)
+	VMOVUPD Z7, 448(DX)
+	VMOVUPD Z8, 512(DX)
+	VMOVUPD Z9, 576(DX)
+	VMOVUPD Z10, 640(DX)
+	VMOVUPD Z11, 704(DX)
+	VMOVUPD Z12, 768(DX)
+	VMOVUPD Z13, 832(DX)
+	VMOVUPD Z14, 896(DX)
+	VMOVUPD Z15, 960(DX)
+	VZEROUPPER
+	RET
+
+// func axpyAsm(n int64, dst, src *float64, scale float64)
+//
+// dst[i] += scale*src[i], eight elements per iteration. Multiply and
+// add are deliberately separate (VMULPD + VADDPD, not FMA): each
+// element rounds exactly like the scalar Go loop, keeping the SIMD
+// accumulate path bit-identical to the portable one. n must be a
+// positive multiple of 8.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	VBROADCASTSD scale+24(FP), Y3
+
+axpyloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMULPD  Y3, Y0, Y0
+	VMULPD  Y3, Y1, Y1
+	VADDPD  (DI), Y0, Y0
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $8, CX
+	JNZ     axpyloop
+	VZEROUPPER
+	RET
+
+// func scaleAsm(n int64, dst, src *float64, scale float64)
+//
+// dst[i] = scale*src[i], eight elements per iteration. n must be a
+// positive multiple of 8.
+TEXT ·scaleAsm(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	VBROADCASTSD scale+24(FP), Y3
+
+scaleloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMULPD  Y3, Y0, Y0
+	VMULPD  Y3, Y1, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $8, CX
+	JNZ     scaleloop
 	VZEROUPPER
 	RET
 

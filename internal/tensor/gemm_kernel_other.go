@@ -2,10 +2,25 @@
 
 package tensor
 
-// Non-amd64 (or purego) builds run the portable 4x4 micro-kernel.
-const haveGemmAsm = false
+// Non-amd64 (or purego) builds run the portable tier only.
+func hwKernelTier() KernelTier { return TierPortable }
 
-// gemmAsm4x8 is never called when haveGemmAsm is false.
+// gemmAsm4x8 is never called when the active tier is TierPortable.
 func gemmAsm4x8(kc int64, a, b, acc *float64) {
 	panic("tensor: gemmAsm4x8 without asm support")
+}
+
+// gemmAsm8x16 is never called when the active tier is TierPortable.
+func gemmAsm8x16(kc int64, a, b, acc *float64) {
+	panic("tensor: gemmAsm8x16 without asm support")
+}
+
+// axpyAsm is never called when the active tier is TierPortable.
+func axpyAsm(n int64, dst, src *float64, scale float64) {
+	panic("tensor: axpyAsm without asm support")
+}
+
+// scaleAsm is never called when the active tier is TierPortable.
+func scaleAsm(n int64, dst, src *float64, scale float64) {
+	panic("tensor: scaleAsm without asm support")
 }

@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"parsec/internal/team"
+
+	"parsec/internal/tensor/pool"
+)
+
+const (
+	// gemmParCutoff is the m*n*k product below which splitting a product
+	// across workers costs more (packing duplication, wakeups) than it
+	// saves; such products run serially on the caller.
+	gemmParCutoff = 96 * 96 * 96
+	// gemmParMinCols is the minimum C column span per part: narrower
+	// windows re-pack A too often relative to the flops they cover.
+	gemmParMinCols = 64
+)
+
+// GemmP is Gemm with intra-task parallelism: C = alpha*op(A)*op(B) +
+// beta*C, with the C columns split across the team handle par. Each part
+// runs the full blocked kernel over a disjoint column window, so every C
+// element is accumulated by exactly one part in the same k order and the
+// result is bitwise identical to serial Gemm for any part count. loc is
+// the caller's scratch shard, used for the serial path (parts draw from
+// the scratch handle their Span slot provides).
+//
+// par may be nil or team.Serial for a plain serial call; loc may be nil
+// to draw from the shared pool.
+func GemmP(par team.Parallelism, loc *pool.Local, transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	m, k := opDims(a, transA)
+	kb, n := opDims(b, transB)
+	if k != kb || c.Rows != m || c.Cols != n {
+		panic("tensor: GemmP dimension mismatch")
+	}
+	if beta == 0 {
+		for i := range c.Data {
+			c.Data[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if m*n*k < gemmBlockCutoff {
+		gemmDirect(transA, transB, alpha, a, b, c)
+		return
+	}
+	parts := 1
+	if par != nil && m*n*k >= gemmParCutoff {
+		parts = min2(par.Workers(), n/gemmParMinCols)
+	}
+	if parts <= 1 {
+		gemmBlockedCols(transA, transB, alpha, a, b, c, 0, n, loc)
+		return
+	}
+	par.Span(parts, func(part int, scratch *pool.Local) {
+		j0 := part * n / parts
+		j1 := (part + 1) * n / parts
+		gemmBlockedCols(transA, transB, alpha, a, b, c, j0, j1, scratch)
+	})
+}

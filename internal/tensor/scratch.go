@@ -49,3 +49,37 @@ func PutTile4(t *Tile4) {
 	t.Dim = [4]int{}
 	tile4HeaderPool.Put(t)
 }
+
+// GetTile4In is GetTile4 drawing the backing storage from the given
+// worker-local scratch shard; a nil shard falls back to the shared pool.
+func GetTile4In(loc *pool.Local, d0, d1, d2, d3 int) *Tile4 {
+	if d0 < 0 || d1 < 0 || d2 < 0 || d3 < 0 {
+		panic(fmt.Sprintf("tensor: GetTile4In(%d,%d,%d,%d)", d0, d1, d2, d3))
+	}
+	t := tile4HeaderPool.Get().(*Tile4)
+	t.Dim = [4]int{d0, d1, d2, d3}
+	t.Data = loc.Get(d0 * d1 * d2 * d3)
+	return t
+}
+
+// GetTile4ZeroedIn is GetTile4Zeroed drawing from the given worker-local
+// scratch shard; a nil shard falls back to the shared pool.
+func GetTile4ZeroedIn(loc *pool.Local, d0, d1, d2, d3 int) *Tile4 {
+	t := GetTile4In(loc, d0, d1, d2, d3)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// PutTile4In returns a tile to the given worker-local scratch shard; a
+// nil shard returns the storage to the shared pool.
+func PutTile4In(loc *pool.Local, t *Tile4) {
+	if t == nil {
+		return
+	}
+	loc.Put(t.Data)
+	t.Data = nil
+	t.Dim = [4]int{}
+	tile4HeaderPool.Put(t)
+}

@@ -6,8 +6,10 @@ package tensor
 // the CCSD workloads use (11^4 .. 36*37*36*37 elements) that write
 // pattern walks far outside L1 between consecutive stores. The kernels
 // here restructure the loops so that on every tile either both sides
-// are contiguous (perm[3] == 3) or contiguous reads are paired with
-// writes confined to a cache-resident sub-tile.
+// are contiguous (perm[3] == 3, handled row-at-a-time by the vector
+// accumulate kernels) or the permutation is staged through a
+// stack-resident sub-tile transpose whose destination stores are again
+// contiguous vector runs (perm[3] != 3).
 
 const (
 	// sort4BlockCutoff is the element count below which blocking is not
@@ -16,16 +18,18 @@ const (
 	sort4BlockCutoff = 4096
 
 	// sort4BU x sort4BT is the (unit-dst-stride axis x innermost src
-	// axis) sub-tile: reads stay contiguous over sort4BT elements while
-	// writes revisit a block of at most sort4BU*sort4BT*8 bytes = 16 KiB,
-	// which fits L1 alongside the read stream.
-	sort4BU = 32
-	sort4BT = 64
+	// axis) sub-tile staged through the transpose buffer: 64*32*8 bytes
+	// = 16 KiB, L1-resident alongside the read stream. sort4BU is the
+	// larger side so the contiguous destination runs in the second phase
+	// are long enough for the vector accumulate kernels to pay off.
+	sort4BU = 64
+	sort4BT = 32
 )
 
 // sort4Contig handles permutations that keep the innermost axis in
 // place (perm[3] == 3): both source and destination runs over i3 are
-// contiguous, so the permutation reduces to copying d3-length rows.
+// contiguous, so the permutation reduces to scaled row copies, which the
+// vector accumulate kernels (axpy.go) handle eight elements at a time.
 func sort4Contig(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 	str := sort4Strides(dst, perm)
 	d0, d1, d2, d3 := src.Dim[0], src.Dim[1], src.Dim[2], src.Dim[3]
@@ -40,13 +44,9 @@ func sort4Contig(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 				srow := s[idx : idx+d3]
 				drow := dst.Data[o2 : o2+d3]
 				if add {
-					for t, v := range srow {
-						drow[t] += scale * v
-					}
+					Axpy(drow, srow, scale)
 				} else {
-					for t, v := range srow {
-						drow[t] = scale * v
-					}
+					ScaleTo(drow, srow, scale)
 				}
 				idx += d3
 			}
@@ -57,9 +57,14 @@ func sort4Contig(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 // sort4Blocked handles permutations that move the innermost axis
 // (perm[3] != 3). Let u = perm[3]: u is the source axis whose unit step
 // lands on the destination's unit stride. The two remaining source axes
-// iterate outermost; the (u, i3) plane is processed in sort4BU x
-// sort4BT sub-tiles so reads stream contiguously along i3 while the
-// strided writes stay within a cache-resident block.
+// iterate outermost; the (u, i3) plane is processed in sort4BU x sort4BT
+// sub-tiles, each staged through a stack buffer in two phases: phase one
+// reads the source contiguously along i3 and transposes into the buffer
+// (strided writes, but confined to 16 KiB), phase two folds buffer rows
+// into the destination, where a fixed i3 gives a contiguous run along u
+// that the vector accumulate kernels handle. Every destination element
+// still receives exactly one scale*src term, so the result is bitwise
+// identical to the scatter path.
 func sort4Blocked(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 	str := sort4Strides(dst, perm)
 	u := perm[3]
@@ -85,27 +90,35 @@ func sort4Blocked(dst, src *Tile4, perm [4]int, scale float64, add bool) {
 	st3 := str[3]
 	s := src.Data
 	d := dst.Data
+	var buf [sort4BU * sort4BT]float64
 	for iv := 0; iv < dv; iv++ {
 		for iw := 0; iw < dw; iw++ {
 			srcBase := iv*sstr[v] + iw*sstr[w]
 			dstBase := iv*str[v] + iw*str[w]
 			for u0 := 0; u0 < du; u0 += sort4BU {
-				uEnd := min2(u0+sort4BU, du)
+				un := min2(sort4BU, du-u0)
 				for t0 := 0; t0 < d3; t0 += sort4BT {
-					tEnd := min2(t0+sort4BT, d3)
-					for iu := u0; iu < uEnd; iu++ {
-						srow := s[srcBase+iu*sstr[u]+t0 : srcBase+iu*sstr[u]+tEnd]
-						// str[u] == 1 by construction: perm[3] == u
-						// means src axis u maps to dst axis 3.
-						doff := dstBase + iu + t0*st3
+					tn := min2(sort4BT, d3-t0)
+					// Phase 1: contiguous source reads, transposed into
+					// the buffer laid out [tn][un].
+					for k := 0; k < un; k++ {
+						off := srcBase + (u0+k)*sstr[u] + t0
+						srow := s[off : off+tn]
+						for t, x := range srow {
+							buf[t*un+k] = x
+						}
+					}
+					// Phase 2: contiguous destination runs along u.
+					// str[u] == 1 by construction: perm[3] == u means
+					// src axis u maps to dst axis 3.
+					for t := 0; t < tn; t++ {
+						doff := dstBase + u0 + (t0+t)*st3
+						drow := d[doff : doff+un]
+						brow := buf[t*un : t*un+un]
 						if add {
-							for t, x := range srow {
-								d[doff+t*st3] += scale * x
-							}
+							Axpy(drow, brow, scale)
 						} else {
-							for t, x := range srow {
-								d[doff+t*st3] = scale * x
-							}
+							ScaleTo(drow, brow, scale)
 						}
 					}
 				}

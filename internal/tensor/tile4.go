@@ -60,9 +60,7 @@ func (t *Tile4) AddScaled(src *Tile4, s float64) {
 	if t.Dim != src.Dim {
 		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %v vs %v", t.Dim, src.Dim))
 	}
-	for i, v := range src.Data {
-		t.Data[i] += s * v
-	}
+	Axpy(t.Data, src.Data, s)
 }
 
 // MaxAbsDiff returns the largest absolute elementwise difference between
