@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels lint fig9 traces profile faults sched-conformance netrun-conformance real-dist examples clean
+.PHONY: all build vet test race bench bench-kernels lint fig9 traces profile faults sched-conformance netrun-conformance real-dist serve-smoke ccload examples clean
 
 all: build vet test lint
 
@@ -71,6 +71,19 @@ netrun-conformance:
 # worker processes; energies must match the single-process runtime.
 real-dist:
 	$(GO) run ./cmd/ccsim -real-dist 3
+
+# Service smoke: start ccsimd in-process under the race detector and
+# drive the acceptance scenario over real HTTP — cold benzene job,
+# identical cached job (must skip inspection+planning), a canceled job,
+# queue-full 429 backpressure, and a draining shutdown.
+serve-smoke:
+	$(GO) run -race ./cmd/ccsimd -smoke
+
+# Service load test: mixed preset/variant workload against an
+# in-process server; reports throughput, cache hit rate, cold vs cached
+# latency percentiles, and checks per-key energy agreement.
+ccload:
+	$(GO) run ./cmd/ccload -clients 4 -jobs 24
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,86 @@
+// Command ccsimd is the long-running CCSD service: a persistent HTTP
+// server that accepts concurrent CCSD jobs, multiplexes them over a
+// bounded executor pool, and caches compiled plans by content key so
+// repeat submissions skip inspection and planning entirely (see
+// internal/serve and docs/SERVICE.md).
+//
+// Usage:
+//
+//	ccsimd [-addr host:port] [-max-concurrent N] [-queue-depth N]
+//	       [-cache-cap N] [-workers N] [-retry-after D]
+//	ccsimd -smoke
+//
+// Without -smoke the server runs until SIGINT/SIGTERM, then drains
+// in-flight jobs before exiting. With -smoke it starts an in-process
+// server on a loopback port, drives the CI acceptance scenario against
+// the real HTTP surface (cold benzene job, identical cached job,
+// canceled job, queue-full 429, drained shutdown), prints the outcome,
+// and exits non-zero on any failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parsec/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8651", "listen address")
+	maxConc := flag.Int("max-concurrent", 2, "jobs executing simultaneously")
+	queueDepth := flag.Int("queue-depth", 16, "admitted jobs waiting for an executor before 429")
+	cacheCap := flag.Int("cache-cap", 32, "plan cache capacity (entries)")
+	workers := flag.Int("workers", 1, "default runtime workers per job")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on queue-full rejections")
+	smoke := flag.Bool("smoke", false, "run the service smoke scenario and exit")
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queueDepth,
+		CacheCap:       *cacheCap,
+		DefaultWorkers: *workers,
+		RetryAfter:     *retryAfter,
+	}
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccsimd: smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ccsimd: smoke ok")
+		return
+	}
+
+	s := serve.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("ccsimd: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		s.Shutdown()
+		close(done)
+	}()
+
+	ec := s.Config()
+	fmt.Printf("ccsimd: listening on %s (executors %d, queue %d, cache %d plans, %d workers/job)\n",
+		*addr, ec.MaxConcurrent, ec.QueueDepth, ec.CacheCap, ec.DefaultWorkers)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "ccsimd: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Println("ccsimd: drained, bye")
+}

@@ -1,0 +1,128 @@
+package ccsd
+
+import (
+	"time"
+
+	"parsec/internal/ga"
+	"parsec/internal/molecule"
+	"parsec/internal/ptg"
+	"parsec/internal/runtime"
+	"parsec/internal/sched"
+	"parsec/internal/tce"
+	"parsec/internal/trace"
+)
+
+// CompiledPlan is the reusable front half of the pipeline: the inspected
+// workload plus the per-chain GEMM segmentation and reduction-tree
+// shapes for one (system, variant, graph-shape) triple. Everything in it
+// is a pure function of those inputs — no Global Arrays store, no
+// scheduler state — so a plan compiled once can back any number of
+// executions, which is what the service's content-keyed cache holds.
+type CompiledPlan struct {
+	// Sys is the inspected molecular system.
+	Sys *molecule.System
+	// Spec is the algorithmic variant the plan was compiled for.
+	Spec VariantSpec
+	// Opts is the graph shape (nodes, segment height, write span). The
+	// Store field is always nil here; executions bind their own store.
+	Opts Options
+	// Workload is the inspection result: chains, block shapes, FLOP
+	// counts, and the reference-energy machinery.
+	Workload *tce.Workload
+	// InspectTime and PlanTime record how long inspection and chain
+	// planning took — the cost a cache hit avoids.
+	InspectTime time.Duration
+	PlanTime    time.Duration
+
+	ps []*chainPlan
+}
+
+// Compile runs the inspection phase and chain planning for the T2_7
+// kernel on sys and returns the cacheable plan. opts.Store is ignored
+// (and cleared): stores are per-execution, not part of the plan.
+func Compile(sys *molecule.System, spec VariantSpec, opts Options) *CompiledPlan {
+	opts.Store = nil
+	t0 := time.Now()
+	w := tce.Inspect(tce.T2_7(sys), nil)
+	t1 := time.Now()
+	ps := plans(w, spec, opts.SegmentHeight)
+	return &CompiledPlan{
+		Sys:         sys,
+		Spec:        spec,
+		Opts:        opts,
+		Workload:    w,
+		InspectTime: t1.Sub(t0),
+		PlanTime:    time.Since(t1),
+		ps:          ps,
+	}
+}
+
+// NewGraph binds the compiled plan to a store and returns a fresh task
+// graph for one execution. The expensive inspection and planning work is
+// reused verbatim; only the (cheap) graph skeleton is rebuilt, because
+// task bodies close over the per-job store.
+func (p *CompiledPlan) NewGraph(store ga.API) *ptg.Graph {
+	opts := p.Opts
+	opts.Store = store
+	return buildGraphFrom(p.Workload, p.Spec, opts, p.ps)
+}
+
+// NumChains returns the number of GEMM chains in the plan's workload.
+func (p *CompiledPlan) NumChains() int { return len(p.ps) }
+
+// ExecConfig controls one execution of a compiled plan.
+type ExecConfig struct {
+	// Workers is the goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// Queue selects the ready-queue structure; the zero value is the
+	// shared queue.
+	Queue sched.QueueMode
+	// Trace, when non-nil, records every completed task for obsv
+	// profiling.
+	Trace *trace.Trace
+	// Cancel, when non-nil, aborts the run when it becomes readable;
+	// the error returned satisfies errors.Is(err, runtime.ErrCanceled).
+	Cancel <-chan struct{}
+}
+
+// Execute runs the compiled plan once: it creates a fresh store, fills
+// the input tensors, binds the graph, and executes it, returning the
+// correlation energy. Concurrent Executes of the same plan are safe —
+// the plan is read-only after Compile.
+func (p *CompiledPlan) Execute(cfg ExecConfig) (RealResult, error) {
+	w := p.Workload
+	store := ga.NewStore(1)
+	aName, bName := w.InputTensors()
+	a := store.Create(aName)
+	bt := store.Create(bName)
+	store.Create(tce.TensorC)
+	for _, ref := range w.UniqueBlocks(aName) {
+		w.FillBlock(ref, a.GetOrCreate(ref.Key, ref.Dims))
+	}
+	for _, ref := range w.UniqueBlocks(bName) {
+		w.FillBlock(ref, bt.GetOrCreate(ref.Key, ref.Dims))
+	}
+
+	g := p.NewGraph(store)
+	policy := sched.PriorityOrder
+	if !p.Spec.UsePriorities {
+		policy = sched.LIFOOrder
+	}
+	rcfg := runtime.Config{
+		Workers: cfg.Workers,
+		Policy:  policy,
+		Queues:  cfg.Queue,
+		Cancel:  cfg.Cancel,
+	}
+	if cfg.Trace != nil {
+		rcfg.Observer = runtime.TraceObserver(0, cfg.Trace)
+	}
+	rep, err := runtime.Run(g, rcfg)
+	if err != nil {
+		return RealResult{}, err
+	}
+	return RealResult{
+		Energy: w.Energy(store.Array(tce.TensorC)),
+		Report: rep,
+	}, nil
+}

@@ -62,6 +62,13 @@ type builder struct {
 
 // BuildGraph constructs the PTG for one variant of the ported subroutine.
 func BuildGraph(w *tce.Workload, spec VariantSpec, opts Options) *ptg.Graph {
+	return buildGraphFrom(w, spec, opts, plans(w, spec, opts.SegmentHeight))
+}
+
+// buildGraphFrom is BuildGraph with the chain plans supplied by the
+// caller, so a CompiledPlan can rebind its cached plans to a fresh
+// per-job store without re-deriving them.
+func buildGraphFrom(w *tce.Workload, spec VariantSpec, opts Options, ps []*chainPlan) *ptg.Graph {
 	nodes := opts.Nodes
 	if nodes <= 0 {
 		nodes = 1
@@ -71,7 +78,7 @@ func BuildGraph(w *tce.Workload, spec VariantSpec, opts Options) *ptg.Graph {
 		w:     w,
 		spec:  spec,
 		opts:  opts,
-		ps:    plans(w, spec, opts.SegmentHeight),
+		ps:    ps,
 		nodes: nodes,
 	}
 	b.buildDFill()

@@ -8,6 +8,7 @@ import (
 
 	"parsec/internal/ptg"
 	"parsec/internal/sched"
+	"parsec/internal/team"
 	"parsec/internal/tensor/pool"
 )
 
@@ -32,8 +33,10 @@ type engine struct {
 	rngs []sched.RNG
 	// locals are the per-worker scratch shards for pooled kernel
 	// buffers (task bodies reach them through Ctx.Pool). Intra-task
-	// lending (Ctx.Par) stays nil here: a rank's workers are few and
-	// remote steals already balance coarse work.
+	// parallelism (Ctx.Par) is wired to team.Serial: a rank's workers
+	// are few and remote steals already balance coarse work, so bodies
+	// get an explicit one-worker contract (GemmP degenerates to the
+	// serial kernel bitwise) instead of a nil they must guard against.
 	locals  []*pool.Local
 	stopped bool
 	failed  error
@@ -264,6 +267,7 @@ func (e *engine) execute(wid int, in *ptg.Instance) {
 		In:   in.In,
 		Out:  make([]any, len(in.In)),
 		Pool: e.locals[wid],
+		Par:  team.Serial,
 	}
 	copy(ctx.Out, in.In)
 	if delay := e.cfg.TaskDelay; delay != nil {

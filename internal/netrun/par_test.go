@@ -1,0 +1,85 @@
+package netrun
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"parsec/internal/ptg"
+	"parsec/internal/sched"
+	"parsec/internal/team"
+	"parsec/internal/tensor"
+)
+
+// parGemmDim is sized so m*n*k clears the intra-task parallel cutoff in
+// GemmP — the test must exercise the code path that would split if the
+// team had more than one worker.
+const parGemmDim = 128
+
+// parTestMatrix builds a deterministic matrix from a seed.
+func parTestMatrix(seed uint64, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	x := seed
+	for i := range m.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64(int64(x>>33)) / float64(1<<30)
+	}
+	return m
+}
+
+// TestEngineCtxParSerialGemm pins the round-3 fix: netrun engine
+// workers hand task bodies an explicit team.Serial in Ctx.Par (not
+// nil), and GemmP through that handle is bitwise identical to the
+// serial Gemm kernel. Runs across two ranks over real sockets so the
+// assertion covers the actual engine execute path.
+func TestEngineCtxParSerialGemm(t *testing.T) {
+	a := parTestMatrix(1, parGemmDim, parGemmDim)
+	b := parTestMatrix(2, parGemmDim, parGemmDim)
+	want := tensor.NewMatrix(parGemmDim, parGemmDim)
+	tensor.Gemm(false, false, 1, a, b, 0, want)
+
+	const tasks, ranks = 4, 2
+	build := func(rank int) (*ptg.Graph, error) {
+		g := ptg.NewGraph("par-serial")
+		tc := g.Class("CHECK")
+		tc.Domain = func(emit func(ptg.Args)) {
+			for i := 0; i < tasks; i++ {
+				emit(ptg.A1(i))
+			}
+		}
+		tc.Affinity = func(a ptg.Args) int { return a[0] % ranks }
+		tc.AddFlow("D", ptg.Write).InNew(nil, func(ptg.Args) int64 { return 8 })
+		tc.Body = func(ctx *ptg.Ctx) {
+			if ctx.Par == nil {
+				ctx.Fail(fmt.Errorf("task %v: Ctx.Par is nil", ctx.Args))
+				return
+			}
+			if ctx.Par != team.Serial {
+				ctx.Fail(fmt.Errorf("task %v: Ctx.Par = %T, want team.Serial", ctx.Args, ctx.Par))
+				return
+			}
+			ta := parTestMatrix(1, parGemmDim, parGemmDim)
+			tb := parTestMatrix(2, parGemmDim, parGemmDim)
+			c := tensor.NewMatrix(parGemmDim, parGemmDim)
+			tensor.GemmP(ctx.Par, ctx.Pool, false, false, 1, ta, tb, 0, c)
+			for i := range c.Data {
+				if c.Data[i] != want.Data[i] {
+					ctx.Fail(fmt.Errorf("task %v: GemmP differs from serial Gemm at %d: %x vs %x",
+						ctx.Args, i, c.Data[i], want.Data[i]))
+					return
+				}
+			}
+			ctx.Out[0] = 1
+		}
+		return g, nil
+	}
+
+	res, err := RunGraph(Config{Ranks: ranks, Workers: 2, Policy: sched.LIFOOrder,
+		Deadline: 60 * time.Second}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != tasks {
+		t.Fatalf("executed %d tasks, want %d", res.Tasks, tasks)
+	}
+}

@@ -332,6 +332,18 @@ type CritPath struct {
 	Shares     []PathShare `json:"shares"`
 }
 
+// Phases is the coarse lifecycle timing of one service job: how long it
+// waited for admission, how long the cacheable front half (inspection +
+// chain planning) took — zero on a plan-cache hit, which is exactly the
+// cost the cache exists to shed — and how long real execution ran.
+type Phases struct {
+	QueueNs   int64 `json:"queue_ns"`
+	InspectNs int64 `json:"inspect_ns"`
+	PlanNs    int64 `json:"plan_ns"`
+	ExecNs    int64 `json:"exec_ns"`
+	CacheHit  bool  `json:"cache_hit"`
+}
+
 // Profile is the complete observability record of one run.
 type Profile struct {
 	Name    string          `json:"name"`
@@ -345,6 +357,7 @@ type Profile struct {
 	Crit    *CritPath       `json:"critical_path,omitempty"`
 	Recov   *Recovery       `json:"recovery,omitempty"`
 	Slow    *Slowdown       `json:"slowdown,omitempty"`
+	Phase   *Phases         `json:"phases,omitempty"`
 }
 
 // FromTrace computes the histogram and idle-gap halves of a profile from
@@ -433,6 +446,9 @@ func FromTrace(name string, t *trace.Trace) *Profile {
 
 // SetComm attaches communication-volume counters.
 func (p *Profile) SetComm(c CommStats) { p.Comm = &c }
+
+// SetPhases attaches service-job lifecycle timings.
+func (p *Profile) SetPhases(ph Phases) { p.Phase = &ph }
 
 // SetRecovery attaches fault-recovery counters.
 func (p *Profile) SetRecovery(rec Recovery) { p.Recov = &rec }

@@ -22,6 +22,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,14 @@ import (
 	"parsec/internal/sched"
 	"parsec/internal/tensor/pool"
 )
+
+// ErrCanceled is the error Run returns when Config.Cancel fires before
+// the graph completes. Task bodies already executing finish normally —
+// cancellation is only observed between tasks — and every worker's
+// scratch shard is drained before Run returns, so a canceled run leaks
+// nothing. Callers distinguish cancellation from task failure with
+// errors.Is.
+var ErrCanceled = errors.New("runtime: run canceled")
 
 // Event records one task execution for tracing.
 type Event struct {
@@ -64,6 +73,11 @@ type Config struct {
 	// suite in internal/sched uses it to compare decisions against the
 	// simulator's.
 	SchedObserver sched.Observer
+	// Cancel, if non-nil, aborts the run as soon as it becomes
+	// readable (typically by closing it): no new task starts, running
+	// bodies finish, and Run returns ErrCanceled. This is the hook the
+	// long-running service threads a job's cancellation through.
+	Cancel <-chan struct{}
 }
 
 // SchedStats exposes the scheduler's internal counters for one run,
@@ -207,6 +221,19 @@ func Run(g *ptg.Graph, cfg Config) (Report, error) {
 			defer wg.Done()
 			r.work(id)
 		}(w)
+	}
+	if cfg.Cancel != nil {
+		// The watcher halts the run on cancellation; closing watchDone
+		// after the workers join releases it when the run wins the race.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-cfg.Cancel:
+				r.fail(ErrCanceled)
+			case <-watchDone:
+			}
+		}()
 	}
 	wg.Wait()
 

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"parsec/internal/ccsd"
+	"parsec/internal/molecule"
+	"parsec/internal/obsv"
+)
+
+// JobState is one station of the job lifecycle state machine:
+//
+//	queued → running → done
+//	   \        \----→ failed
+//	    \-------------→ canceled
+//
+// Cancellation from queued skips execution entirely; cancellation from
+// running halts the scheduler between tasks and drains the job's
+// scratch shards before the state flips.
+type JobState string
+
+// The job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// CustomSystem describes a non-preset molecular system in a submit
+// body, mirroring molecule.Custom.
+type CustomSystem struct {
+	Name       string `json:"name"`
+	NOccupied  int    `json:"n_occupied"`
+	NVirtual   int    `json:"n_virtual"`
+	TileTarget int    `json:"tile_target"`
+	NIrreps    int    `json:"n_irreps"`
+	Seed       uint64 `json:"seed"`
+}
+
+// JobSpec is the JSON submit body: which system to run, which variant,
+// and the graph/execution shape. Zero values select server defaults.
+type JobSpec struct {
+	// Preset names a built-in system (water, benzene, uracil, porphin,
+	// betacarotene). Exactly one of Preset and Custom must be set.
+	Preset string `json:"preset,omitempty"`
+	// Custom describes an explicit system instead of a preset.
+	Custom *CustomSystem `json:"custom,omitempty"`
+	// Variant is the algorithmic variant (v1..v5); default v5.
+	Variant string `json:"variant,omitempty"`
+	// Workers overrides the per-job runtime worker count.
+	Workers int `json:"workers,omitempty"`
+	// SegmentHeight overrides the GEMM segment height (plan-affecting).
+	SegmentHeight int `json:"segment_height,omitempty"`
+	// WriteSpan splits output writes across adjacent nodes (plan-affecting).
+	WriteSpan int `json:"write_span,omitempty"`
+	// Nodes is the affinity modulus of the graph (plan-affecting);
+	// default 1 (shared memory).
+	Nodes int `json:"nodes,omitempty"`
+}
+
+// system resolves the spec's molecular system.
+func (s JobSpec) system() (*molecule.System, error) {
+	switch {
+	case s.Preset != "" && s.Custom != nil:
+		return nil, fmt.Errorf("serve: spec sets both preset and custom")
+	case s.Custom != nil:
+		c := s.Custom
+		if c.NOccupied <= 0 || c.NVirtual <= 0 || c.TileTarget <= 0 {
+			return nil, fmt.Errorf("serve: custom system needs positive n_occupied, n_virtual, tile_target")
+		}
+		name := c.Name
+		if name == "" {
+			name = "custom"
+		}
+		return molecule.Custom(name, c.NOccupied, c.NVirtual, c.TileTarget, c.NIrreps, c.Seed), nil
+	case s.Preset != "":
+		return molecule.Preset(s.Preset)
+	default:
+		return nil, fmt.Errorf("serve: spec needs a preset or a custom system")
+	}
+}
+
+// JobResult is the outcome of a finished job.
+type JobResult struct {
+	// Energy is the correlation-energy functional of the output tensor.
+	Energy float64 `json:"energy"`
+	// Tasks is the number of tasks the runtime executed.
+	Tasks int `json:"tasks"`
+	// CacheHit reports whether the compiled plan came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// QueueNs, InspectNs, PlanNs, ExecNs are the lifecycle phase
+	// durations; InspectNs and PlanNs are zero on a cache hit.
+	QueueNs   int64 `json:"queue_ns"`
+	InspectNs int64 `json:"inspect_ns"`
+	PlanNs    int64 `json:"plan_ns"`
+	ExecNs    int64 `json:"exec_ns"`
+}
+
+// JobStatus is the JSON shape of a status query.
+type JobStatus struct {
+	// ID is the server-assigned job identifier.
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State JobState `json:"state"`
+	// PlanKey is the job's content key into the plan cache.
+	PlanKey string `json:"plan_key"`
+	// Spec echoes the submitted spec.
+	Spec JobSpec `json:"spec"`
+	// SubmittedNs is the submit time (unix nanoseconds).
+	SubmittedNs int64 `json:"submitted_ns"`
+	// Error carries the failure message for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is present once the job is done.
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id        string
+	spec      JobSpec
+	sys       *molecule.System
+	vspec     ccsd.VariantSpec
+	key       string
+	submitted time.Time
+
+	cancel     chan struct{}
+	cancelOnce sync.Once
+
+	mu      sync.Mutex
+	state   JobState
+	err     error
+	result  *JobResult
+	profile *obsv.Profile
+}
+
+// requestCancel fires the job's cancel channel exactly once.
+func (j *job) requestCancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+}
+
+// canceled reports whether cancellation was requested.
+func (j *job) canceled() bool {
+	select {
+	case <-j.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// setState transitions the job, refusing to leave a terminal state.
+func (j *job) setState(s JobState) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = s
+	return true
+}
+
+// status snapshots the job for the HTTP surface.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		PlanKey:     j.key,
+		Spec:        j.spec,
+		SubmittedNs: j.submitted.UnixNano(),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.result != nil {
+		r := *j.result
+		st.Result = &r
+	}
+	return st
+}

@@ -1,0 +1,376 @@
+// Package serve is the long-running CCSD service behind cmd/ccsimd: an
+// admission queue feeding a bounded pool of executor goroutines, a
+// content-keyed LRU cache of compiled plans (see PlanCache), per-job
+// cancellation threaded into the runtime, and per-job observability
+// profiles. The paper's pipeline — inspection, chain planning, PTG
+// construction — is a pure function of (molecule, basis, variant, graph
+// shape), so the service compiles it once per distinct key and lets
+// every repeat submission skip straight to execution; ROADMAP calls
+// this the "millions of users" axis.
+//
+// Concurrency model: Submit either enqueues a job or fails fast with
+// ErrQueueFull (the HTTP layer maps that to 429 + Retry-After).
+// MaxConcurrent executor goroutines drain the queue; each job executes
+// on its own runtime.Run with its own Global Arrays store and its own
+// per-worker scratch shards, so jobs share the machine but no mutable
+// state. Cancellation closes a per-job channel observed both by the
+// queue (pre-execution) and by the runtime scheduler (mid-execution);
+// either way the job's scratch is drained before it reaches a terminal
+// state. Shutdown stops admission and drains everything already
+// accepted.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parsec/internal/ccsd"
+	"parsec/internal/obsv"
+	"parsec/internal/runtime"
+	"parsec/internal/trace"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; clients should back off and retry (HTTP 429).
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = errors.New("serve: server shutting down")
+
+// ErrUnknownJob is returned for lookups of job IDs the server never
+// issued.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent is the number of jobs executing simultaneously
+	// (executor goroutines). Default 2.
+	MaxConcurrent int
+	// QueueDepth is how many admitted jobs may wait for an executor
+	// before Submit returns ErrQueueFull. Default 16.
+	QueueDepth int
+	// CacheCap is the plan cache capacity in entries. Default 32.
+	CacheCap int
+	// DefaultWorkers is the runtime worker count for jobs that do not
+	// set one. Default 1 (jobs scale out across MaxConcurrent slots;
+	// raise this to let single jobs scale up instead).
+	DefaultWorkers int
+	// RetryAfter is the backoff hint attached to queue-full rejections.
+	// Default 1s.
+	RetryAfter time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 32
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 1
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Stats is the server-wide counter snapshot served at /stats.
+type Stats struct {
+	// Cache is the plan-cache snapshot.
+	Cache CacheStats `json:"cache"`
+	// Accepted and Rejected count Submit outcomes; Rejected are the
+	// 429s.
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	// Queued through Canceled count jobs currently in each state.
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// MaxConcurrent and QueueDepth echo the server's admission shape.
+	MaxConcurrent int `json:"max_concurrent"`
+	QueueDepth    int `json:"queue_depth"`
+}
+
+// Server is the CCSD job service. Create with New, submit with Submit,
+// and stop with Shutdown; all methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextID   int
+	accepted int64
+	rejected int64
+	closed   bool
+
+	// hookJobStart, when non-nil, runs as a job enters the running
+	// state — a test seam for holding executors mid-job.
+	hookJobStart func(*job)
+}
+
+// New starts a server: the executor pool is live on return.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewPlanCache(cfg.CacheCap),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Config returns the server's effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Cache exposes the plan cache (for stats and tests).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Submit validates spec, admits it to the queue, and returns the new
+// job's status. ErrQueueFull means the queue is at capacity — retry
+// after Config.RetryAfter. The spec is validated before admission, so a
+// returned job can only fail at execution time.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	sys, err := spec.system()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if spec.Variant == "" {
+		spec.Variant = "v5"
+	}
+	vspec, err := ccsd.VariantByName(spec.Variant)
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, ErrShuttingDown
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.nextID),
+		spec:      spec,
+		sys:       sys,
+		vspec:     vspec,
+		key:       PlanKey(sys, spec.Variant, spec.SegmentHeight, spec.WriteSpan, spec.Nodes),
+		submitted: time.Now(),
+		cancel:    make(chan struct{}),
+		state:     JobQueued,
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.accepted++
+		s.mu.Unlock()
+		return j.status(), nil
+	default:
+		s.rejected++
+		s.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// Job returns the status of a job by ID.
+func (s *Server) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return j.status(), nil
+}
+
+// Profile returns a finished job's observability profile, or nil if the
+// job has not produced one (still pending, canceled before execution,
+// or failed).
+func (s *Server) Profile(id string) (*obsv.Profile, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile, nil
+}
+
+// Cancel requests cancellation of a job. Queued jobs are dropped before
+// execution; running jobs halt between tasks (their scratch shards are
+// drained by the runtime before Run returns). Cancelling a terminal job
+// is a no-op.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrUnknownJob
+	}
+	j.requestCancel()
+	return nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Cache:         s.cache.Stats(),
+		Accepted:      s.accepted,
+		Rejected:      s.rejected,
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		QueueDepth:    s.cfg.QueueDepth,
+	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCanceled:
+			st.Canceled++
+		}
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Shutdown stops admission and blocks until every already-accepted job
+// (queued or running) reaches a terminal state. Safe to call once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// runJob drives one job from queued to a terminal state.
+func (s *Server) runJob(j *job) {
+	if j.canceled() {
+		s.finishCanceled(j)
+		return
+	}
+	queueDur := time.Since(j.submitted)
+	if !j.setState(JobRunning) {
+		return
+	}
+	if s.hookJobStart != nil {
+		s.hookJobStart(j)
+	}
+
+	plan, hit, err := s.cache.Get(j.key, func() (*ccsd.CompiledPlan, error) {
+		return ccsd.Compile(j.sys, j.vspec, ccsd.Options{
+			Nodes:         j.spec.Nodes,
+			SegmentHeight: j.spec.SegmentHeight,
+			WriteSpan:     j.spec.WriteSpan,
+		}), nil
+	})
+	if err != nil {
+		s.finishFailed(j, err)
+		return
+	}
+	if j.canceled() {
+		s.finishCanceled(j)
+		return
+	}
+
+	workers := j.spec.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	tr := trace.New()
+	t0 := time.Now()
+	res, err := plan.Execute(ccsd.ExecConfig{
+		Workers: workers,
+		Trace:   tr,
+		Cancel:  j.cancel,
+	})
+	execDur := time.Since(t0)
+	if errors.Is(err, runtime.ErrCanceled) {
+		s.finishCanceled(j)
+		return
+	}
+	if err != nil {
+		s.finishFailed(j, err)
+		return
+	}
+
+	ph := obsv.Phases{
+		QueueNs:  queueDur.Nanoseconds(),
+		ExecNs:   execDur.Nanoseconds(),
+		CacheHit: hit,
+	}
+	if !hit {
+		ph.InspectNs = plan.InspectTime.Nanoseconds()
+		ph.PlanNs = plan.PlanTime.Nanoseconds()
+	}
+	prof := obsv.FromTrace(fmt.Sprintf("%s %s/%s", j.id, j.sys.Name, j.spec.Variant), tr)
+	prof.SetPhases(ph)
+
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = JobDone
+		j.result = &JobResult{
+			Energy:    res.Energy,
+			Tasks:     res.Report.Tasks,
+			CacheHit:  hit,
+			QueueNs:   ph.QueueNs,
+			InspectNs: ph.InspectNs,
+			PlanNs:    ph.PlanNs,
+			ExecNs:    ph.ExecNs,
+		}
+		j.profile = prof
+	}
+	j.mu.Unlock()
+}
+
+// finishCanceled moves a job to canceled (unless already terminal).
+func (s *Server) finishCanceled(j *job) { j.setState(JobCanceled) }
+
+// finishFailed records a failure.
+func (s *Server) finishFailed(j *job, err error) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = JobFailed
+		j.err = err
+	}
+	j.mu.Unlock()
+}
