@@ -75,9 +75,14 @@ real-dist:
 # Service smoke: start ccsimd in-process under the race detector and
 # drive the acceptance scenario over real HTTP — cold benzene job,
 # identical cached job (must skip inspection+planning), a canceled job,
-# queue-full 429 backpressure, and a draining shutdown.
+# queue-full 429 backpressure, and a draining shutdown. Then the
+# restart-recovery scenario: a journaled child daemon is SIGKILLed
+# mid-queue and restarted; terminal results must come back verbatim,
+# interrupted jobs must re-execute to bitwise-identical energies, and a
+# large job must run across 2 netrun worker processes.
 serve-smoke:
 	$(GO) run -race ./cmd/ccsimd -smoke
+	$(GO) run -race ./cmd/ccsimd -recovery-smoke
 
 # Service load test: mixed preset/variant workload against an
 # in-process server; reports throughput, cache hit rate, cold vs cached

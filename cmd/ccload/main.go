@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,9 +69,10 @@ func (c *client) runJob(spec serve.JobSpec, key string) (jobOutcome, error) {
 			return out, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
+			ra := resp.Header.Get("Retry-After")
 			resp.Body.Close()
 			out.retries++
-			time.Sleep(10 * time.Millisecond)
+			time.Sleep(backoff(ra))
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
@@ -106,6 +108,22 @@ func (c *client) runJob(spec serve.JobSpec, key string) (jobOutcome, error) {
 	out.planNs = st.Result.PlanNs
 	out.execNs = st.Result.ExecNs
 	return out, nil
+}
+
+// backoff converts a 429's Retry-After header into the sleep before the
+// next submit attempt: the server's hint, capped at 2s to keep the
+// harness responsive. The fixed 10ms sleep survives only as the
+// fallback for an absent or unparsable header.
+func backoff(retryAfter string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(retryAfter))
+	if err != nil || secs < 1 {
+		return 10 * time.Millisecond
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
 }
 
 // quantile returns the q-quantile of sorted durations.

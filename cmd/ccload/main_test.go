@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoff is the regression test for the fixed-sleep 429 loop: the
+// server's Retry-After hint must drive the sleep (capped at 2s), with
+// the old 10ms fixed sleep surviving only as the parse-failure fallback.
+func TestBackoff(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"1", time.Second},
+		{"2", 2 * time.Second},
+		{" 1 ", time.Second},
+		{"30", 2 * time.Second}, // capped to keep the harness responsive
+		{"", 10 * time.Millisecond},
+		{"0", 10 * time.Millisecond},
+		{"-3", 10 * time.Millisecond},
+		{"soon", 10 * time.Millisecond},
+	} {
+		if got := backoff(tc.header); got != tc.want {
+			t.Errorf("backoff(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

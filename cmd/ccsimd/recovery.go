@@ -1,0 +1,283 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"parsec/internal/ccsd"
+	"parsec/internal/molecule"
+	"parsec/internal/serve"
+)
+
+// The restart-recovery smoke: a child ccsimd with a durable journal is
+// driven through jobs in every state, SIGKILLed mid-queue, and
+// restarted. The restarted daemon must serve prior terminal results
+// verbatim, keep canceled jobs canceled, and re-execute interrupted
+// jobs to bitwise-identical energies. A benzene job sits above the
+// netrun threshold, so it also proves dispatch across >= 2 real worker
+// processes survives the crash/restart cycle.
+
+// child is one spawned ccsimd daemon process under smoke control.
+type child struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startChild launches ccsimd (this binary) as a daemon on addr with the
+// given journal dir and netrun threshold, and waits for /healthz.
+func startChild(addr, dataDir string, netrunBytes int64) (*child, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe,
+		"-addr", addr,
+		"-data", dataDir,
+		"-max-concurrent", "1",
+		"-queue-depth", "4",
+		"-retry-after", "500ms",
+		"-netrun-bytes", fmt.Sprint(netrunBytes),
+		"-netrun-ranks", "2",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	c := &child{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return c, nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return nil, fmt.Errorf("child ccsimd on %s never became healthy", addr)
+}
+
+// kill delivers SIGKILL and reaps the child — the crash under test.
+func (c *child) kill() {
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}
+
+// stop shuts the child down gracefully (SIGTERM + drain).
+func (c *child) stop() error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(2 * time.Minute):
+		c.cmd.Process.Kill()
+		return fmt.Errorf("child did not drain after SIGTERM")
+	}
+}
+
+// freeAddr reserves a loopback port and returns host:port for the
+// child to bind (released just before the spawn).
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// runRecoverySmoke drives the kill-and-restart acceptance scenario.
+func runRecoverySmoke() error {
+	dataDir, err := os.MkdirTemp("", "ccsimd-recovery-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+
+	// Threshold between the water and benzene footprints: water runs
+	// in-process, benzene is dispatched across 2 netrun worker
+	// processes.
+	waterFoot := ccsd.EstimateFootprint(molecule.Water631G())
+	threshold := waterFoot + 1
+	water := serve.JobSpec{Preset: "water", Variant: "v5"}
+	benzene := serve.JobSpec{Preset: "benzene", Variant: "v5"}
+
+	c1, err := startChild(addr, dataDir, threshold)
+	if err != nil {
+		return err
+	}
+	defer c1.kill()
+	cl := &smokeClient{base: c1.base, hc: &http.Client{Timeout: 5 * time.Minute}}
+
+	// Phase 1a: one of each terminal state, plus the netrun acceptance.
+	doneWater, _, err := cl.submit(water)
+	if err != nil {
+		return err
+	}
+	if doneWater, err = cl.wait(doneWater.ID); err != nil {
+		return err
+	}
+	if doneWater.State != serve.JobDone || doneWater.Result.Backend != serve.BackendInProcess {
+		return fmt.Errorf("water job: state %s backend %q, want done/inproc", doneWater.State, doneWater.Result.Backend)
+	}
+	eWater := doneWater.Result.Energy
+
+	canceled, _, err := cl.submit(water)
+	if err != nil {
+		return err
+	}
+	if err := cl.cancel(canceled.ID); err != nil {
+		return err
+	}
+	if canceled, err = cl.wait(canceled.ID); err != nil {
+		return err
+	}
+	if canceled.State != serve.JobCanceled {
+		return fmt.Errorf("canceled job: state %s, want canceled", canceled.State)
+	}
+
+	doneBenz, _, err := cl.submit(benzene)
+	if err != nil {
+		return err
+	}
+	if doneBenz, err = cl.wait(doneBenz.ID); err != nil {
+		return err
+	}
+	if doneBenz.State != serve.JobDone || doneBenz.Result.Backend != serve.BackendNetrun || doneBenz.Result.Ranks != 2 {
+		return fmt.Errorf("benzene job: state %s backend %q ranks %d, want done/netrun/2",
+			doneBenz.State, doneBenz.Result.Backend, doneBenz.Result.Ranks)
+	}
+	eBenz := doneBenz.Result.Energy
+	fmt.Printf("recovery: pre-kill water E=%.12f (inproc), benzene E=%.12f (netrun x%d procs)\n",
+		eWater, eBenz, doneBenz.Result.Ranks)
+
+	// Phase 1b: occupy the executor with a benzene run, queue water
+	// jobs behind it, and overflow the queue to check the Retry-After
+	// clamp (500ms must render as "1", never "0").
+	interrupted, _, err := cl.submit(benzene)
+	if err != nil {
+		return err
+	}
+	var queued []serve.JobStatus
+	for i := 0; i < 4; i++ {
+		st, rejected, err := cl.submit(water)
+		if err != nil {
+			return err
+		}
+		if rejected {
+			return fmt.Errorf("queue-filling submit %d rejected early", i)
+		}
+		queued = append(queued, st)
+	}
+	sawRetryAfter := ""
+	for i := 0; i < 50; i++ {
+		_, rejected, ra, err := cl.submitRA(water)
+		if err != nil {
+			return err
+		}
+		if rejected {
+			sawRetryAfter = ra
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sawRetryAfter != "1" {
+		return fmt.Errorf("overflow Retry-After = %q, want \"1\" (sub-second hints must round up, never to 0)", sawRetryAfter)
+	}
+	fmt.Println("recovery: overflow 429 carried Retry-After: 1")
+
+	// Phase 1c: SIGKILL with jobs in every state — done, canceled,
+	// running (benzene mid-netrun), and queued.
+	c1.kill()
+	fmt.Println("recovery: child SIGKILLed mid-queue")
+
+	// Phase 2: restart on the same journal.
+	c2, err := startChild(addr, dataDir, threshold)
+	if err != nil {
+		return err
+	}
+	defer c2.stop()
+	cl = &smokeClient{base: c2.base, hc: &http.Client{Timeout: 5 * time.Minute}}
+
+	// Terminal results are restored verbatim: bitwise-equal energies.
+	rWater, err := cl.status(doneWater.ID)
+	if err != nil {
+		return err
+	}
+	if rWater.State != serve.JobDone || rWater.Result == nil || rWater.Result.Energy != eWater {
+		return fmt.Errorf("recovered water job %s: state %s, energy mismatch (want bitwise %.15f)", doneWater.ID, rWater.State, eWater)
+	}
+	if !rWater.Recovered {
+		return fmt.Errorf("recovered water job %s not flagged recovered", doneWater.ID)
+	}
+	rBenz, err := cl.status(doneBenz.ID)
+	if err != nil {
+		return err
+	}
+	if rBenz.State != serve.JobDone || rBenz.Result == nil || rBenz.Result.Energy != eBenz {
+		return fmt.Errorf("recovered benzene job %s: state %s, energy mismatch (want bitwise %.15f)", doneBenz.ID, rBenz.State, eBenz)
+	}
+	rCan, err := cl.status(canceled.ID)
+	if err != nil {
+		return err
+	}
+	if rCan.State != serve.JobCanceled {
+		return fmt.Errorf("recovered canceled job %s: state %s, want canceled", canceled.ID, rCan.State)
+	}
+	fmt.Println("recovery: terminal results restored verbatim (|dE| = 0), canceled stayed canceled")
+
+	// Interrupted and queued jobs re-execute to bitwise-identical
+	// energies on their original backends.
+	ri, err := cl.wait(interrupted.ID)
+	if err != nil {
+		return err
+	}
+	if ri.State != serve.JobDone || ri.Result.Energy != eBenz {
+		return fmt.Errorf("re-executed benzene %s: state %s energy %.15f, want done %.15f (|dE| = 0)",
+			interrupted.ID, ri.State, ri.Result.Energy, eBenz)
+	}
+	if ri.Result.Backend != serve.BackendNetrun || ri.Result.Ranks != 2 {
+		return fmt.Errorf("re-executed benzene backend %q ranks %d, want netrun/2", ri.Result.Backend, ri.Result.Ranks)
+	}
+	for _, q := range queued {
+		rq, err := cl.wait(q.ID)
+		if err != nil {
+			return err
+		}
+		if rq.State != serve.JobDone || rq.Result.Energy != eWater {
+			return fmt.Errorf("re-executed water %s: state %s energy %.15f, want done %.15f (|dE| = 0)",
+				q.ID, rq.State, rq.Result.Energy, eWater)
+		}
+	}
+	st, err := cl.stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovery: %d jobs recovered, interrupted benzene + %d queued waters re-executed bitwise-identical (epoch %d)\n",
+		st.Recovered, len(queued), st.Epoch)
+	if st.Recovered < 7 {
+		return fmt.Errorf("stats.Recovered = %d, want >= 7", st.Recovered)
+	}
+	if st.Epoch < 2 {
+		return fmt.Errorf("stats.Epoch = %d, want >= 2 after a restart", st.Epoch)
+	}
+	return nil
+}

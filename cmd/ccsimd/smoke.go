@@ -39,6 +39,41 @@ func (c *smokeClient) submit(spec serve.JobSpec) (serve.JobStatus, bool, error) 
 	return st, false, json.NewDecoder(resp.Body).Decode(&st)
 }
 
+// submitRA is submit plus the Retry-After header observed on a 429.
+func (c *smokeClient) submitRA(spec serve.JobSpec) (serve.JobStatus, bool, string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return serve.JobStatus{}, false, "", err
+	}
+	resp, err := c.hc.Post(c.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobStatus{}, false, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return serve.JobStatus{}, true, resp.Header.Get("Retry-After"), nil
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return serve.JobStatus{}, false, "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st serve.JobStatus
+	return st, false, "", json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// status fetches a job's current status without waiting.
+func (c *smokeClient) status(id string) (serve.JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/jobs/" + id)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobStatus{}, fmt.Errorf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var st serve.JobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
 // wait polls a job until it is terminal.
 func (c *smokeClient) wait(id string) (serve.JobStatus, error) {
 	deadline := time.Now().Add(2 * time.Minute)

@@ -70,6 +70,36 @@ func (p *CompiledPlan) NewGraph(store ga.API) *ptg.Graph {
 // NumChains returns the number of GEMM chains in the plan's workload.
 func (p *CompiledPlan) NumChains() int { return len(p.ps) }
 
+// FootprintBytes returns the estimated resident tensor footprint of one
+// execution of the plan: the distinct blocks of both input tensors plus
+// the distinct output blocks, straight from the inspection metadata.
+// Per-chain C scratch is excluded — it is pooled and bounded by worker
+// count, not workload size. The service's memory-based admission and
+// its backend-selection threshold both key off this number.
+func (p *CompiledPlan) FootprintBytes() int64 { return workloadFootprint(p.Workload) }
+
+// EstimateFootprint inspects sys and returns the same footprint a plan
+// compiled for it would report, without chain planning or graph
+// construction. It is a pure function of the system (variant and graph
+// shape do not change which blocks exist), so callers may memoize it by
+// system identity.
+func EstimateFootprint(sys *molecule.System) int64 {
+	return workloadFootprint(tce.Inspect(tce.T2_7(sys), nil))
+}
+
+// workloadFootprint sums the distinct input and output blocks of a
+// workload in bytes.
+func workloadFootprint(w *tce.Workload) int64 {
+	var total int64
+	aName, bName := w.InputTensors()
+	for _, name := range []string{aName, bName, tce.TensorC} {
+		for _, ref := range w.UniqueBlocks(name) {
+			total += ref.Bytes()
+		}
+	}
+	return total
+}
+
 // ExecConfig controls one execution of a compiled plan.
 type ExecConfig struct {
 	// Workers is the goroutine count (0 = GOMAXPROCS).

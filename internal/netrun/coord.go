@@ -387,6 +387,14 @@ func (co *coordinator) wait() (*Result, error) {
 		case <-co.failCh:
 			co.shutdown()
 			return nil, co.err()
+		case <-co.cfg.Cancel:
+			// Cancellation is honored only after the registration
+			// barrier: every rank is connected, so the shutdown
+			// broadcast reaches all of them and they halt between
+			// tasks (a nil Cancel channel never fires).
+			co.shutdown()
+			co.drainShutdown()
+			return nil, ErrCanceled
 		case <-deadline:
 			co.shutdown()
 			return nil, fmt.Errorf("netrun: deadline exceeded with %d/%d tasks complete", co.nComplete(), co.spec.numInstances)
@@ -451,6 +459,18 @@ func (co *coordinator) wait() (*Result, error) {
 	res.Takeovers = len(co.dead)
 	co.mu.Unlock()
 	return res, nil
+}
+
+// drainShutdown gives the shutdown broadcast time to be delivered and
+// acknowledged before wait returns and its deferred close tears the
+// sockets down. Without it, a cancel landing right after the welcome
+// broadcast closes the connections under the still-unsent shutdown
+// frames, and every rank idles until its own deadline.
+func (co *coordinator) drainShutdown() {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !co.tp.drained() {
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 func (co *coordinator) shutdown() {

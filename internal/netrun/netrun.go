@@ -32,6 +32,7 @@
 package netrun
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -47,6 +48,11 @@ import (
 // coordRank is the coordinator's rank id in the wire protocol and the
 // routing tables; worker ranks are 0..Ranks-1.
 const coordRank = -1
+
+// ErrCanceled is returned when Config.Cancel fires mid-run: the
+// coordinator broadcasts shutdown, workers halt between tasks, and the
+// run ends without a result.
+var ErrCanceled = errors.New("netrun: run canceled")
 
 // Config controls a distributed run. The zero value of optional fields
 // selects the documented defaults.
@@ -84,6 +90,12 @@ type Config struct {
 	Deadline time.Duration
 	// Heartbeat is the worker status interval (default 25ms).
 	Heartbeat time.Duration
+
+	// Cancel, when non-nil, aborts the run when it becomes readable:
+	// the coordinator broadcasts shutdown and returns ErrCanceled.
+	// Coordinator-side only — it does not cross the process boundary,
+	// so it works identically for in-process and multi-process runs.
+	Cancel <-chan struct{}
 
 	// TaskDelay, in-process runs only, delays each task body: the
 	// real-socket analogue of a simulated straggler.

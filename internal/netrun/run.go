@@ -75,6 +75,32 @@ func Run(cfg Config, spec JobSpec) (*Result, error) {
 	})
 }
 
+// ServiceOptions selects how RunService places a job's ranks.
+type ServiceOptions struct {
+	// Processes runs each rank as a real OS process by re-executing the
+	// current binary (which must call MaybeWorkerMain early in main);
+	// false runs ranks as in-process goroutines over the same sockets
+	// and wire protocol.
+	Processes bool
+}
+
+// RunService is the service-facing entry point: it executes one CCSD
+// job across cfg.Ranks workers — real OS processes or in-process ranks
+// per opt — honoring cfg.Cancel either way. It is what ccsimd's
+// executor calls for jobs whose tensor footprint exceeds the netrun
+// dispatch threshold; small jobs stay on the in-process runtime.Run
+// fast path.
+func RunService(cfg Config, spec JobSpec, opt ServiceOptions) (*Result, error) {
+	if !opt.Processes {
+		return Run(cfg, spec)
+	}
+	l, err := StartProcesses(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return l.Wait()
+}
+
 // runInProcess drives one coordinator and cfg.Ranks worker goroutines
 // to completion.
 func runInProcess(cfg Config, co *coordinator, work func(rank int) error) (*Result, error) {
@@ -100,13 +126,31 @@ func runInProcess(cfg Config, co *coordinator, work func(rank int) error) (*Resu
 	return res, nil
 }
 
+// CustomSpec is the serializable form of a non-preset molecular system,
+// mirroring molecule.Custom's parameters so a custom job can cross the
+// process boundary the same way presets do.
+type CustomSpec struct {
+	// Name labels the system (empty defaults to "custom").
+	Name string `json:"name"`
+	// NOccupied, NVirtual, TileTarget, NIrreps, and Seed are the
+	// molecule.Custom constructor arguments.
+	NOccupied  int    `json:"n_occupied"`
+	NVirtual   int    `json:"n_virtual"`
+	TileTarget int    `json:"tile_target"`
+	NIrreps    int    `json:"n_irreps"`
+	Seed       uint64 `json:"seed"`
+}
+
 // JobSpec names a CCSD job in serializable form: it crosses the
 // process boundary as JSON, so everything a worker needs to rebuild the
-// graph — preset, variant, the graph-shape dials, and which task
+// graph — system, variant, the graph-shape dials, and which task
 // classes may migrate — lives here rather than in Config's funcs.
 type JobSpec struct {
-	// Preset is the molecule preset name (molecule.Preset).
-	Preset string `json:"preset"`
+	// Preset is the molecule preset name (molecule.Preset). Exactly one
+	// of Preset and Custom must be set.
+	Preset string `json:"preset,omitempty"`
+	// Custom describes an explicit system instead of a preset.
+	Custom *CustomSpec `json:"custom,omitempty"`
 	// Variant is the CCSD dataflow variant (ccsd.VariantByName).
 	Variant string `json:"variant"`
 	// SegmentHeight and WriteSpan pass through to ccsd.Options.
@@ -129,10 +173,31 @@ func (s JobSpec) migratable() func(string) bool {
 	return func(class string) bool { return set[class] }
 }
 
+// system resolves the spec's molecular system from its preset name or
+// its custom parameters.
+func (s JobSpec) system() (*molecule.System, error) {
+	switch {
+	case s.Preset != "" && s.Custom != nil:
+		return nil, fmt.Errorf("netrun: job sets both preset and custom")
+	case s.Custom != nil:
+		c := s.Custom
+		if c.NOccupied <= 0 || c.NVirtual <= 0 || c.TileTarget <= 0 {
+			return nil, fmt.Errorf("netrun: custom system needs positive n_occupied, n_virtual, tile_target")
+		}
+		name := c.Name
+		if name == "" {
+			name = "custom"
+		}
+		return molecule.Custom(name, c.NOccupied, c.NVirtual, c.TileTarget, c.NIrreps, c.Seed), nil
+	default:
+		return molecule.Preset(s.Preset)
+	}
+}
+
 // workload builds the job's workload with block ownership distributed
 // over ranks (the same FNV placement ga.Store uses).
 func (s JobSpec) workload(ranks int) (*tce.Workload, error) {
-	sys, err := molecule.Preset(s.Preset)
+	sys, err := s.system()
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler returns the service's HTTP surface:
@@ -53,6 +55,18 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// retryAfterSeconds renders a backoff hint as whole seconds for the
+// Retry-After header: ceiling, clamped to a minimum of 1. Truncation
+// would render any sub-second hint as "0" and invite an instant-retry
+// stampede from every backpressured client at once.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -63,8 +77,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverBudget):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)

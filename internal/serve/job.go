@@ -89,12 +89,27 @@ func (s JobSpec) system() (*molecule.System, error) {
 	}
 }
 
+// Backend names which execution backend completed a job.
+const (
+	// BackendInProcess is the shared-memory runtime.Run fast path.
+	BackendInProcess = "inproc"
+	// BackendNetrun is the distributed netrun backend (worker ranks
+	// over sockets, selected when the job footprint reaches
+	// Config.NetrunBytes).
+	BackendNetrun = "netrun"
+)
+
 // JobResult is the outcome of a finished job.
 type JobResult struct {
 	// Energy is the correlation-energy functional of the output tensor.
 	Energy float64 `json:"energy"`
 	// Tasks is the number of tasks the runtime executed.
 	Tasks int `json:"tasks"`
+	// Backend reports which backend executed the job (BackendInProcess
+	// or BackendNetrun); Ranks is the worker rank count for netrun
+	// jobs.
+	Backend string `json:"backend,omitempty"`
+	Ranks   int    `json:"ranks,omitempty"`
 	// CacheHit reports whether the compiled plan came from the cache.
 	CacheHit bool `json:"cache_hit"`
 	// QueueNs, InspectNs, PlanNs, ExecNs are the lifecycle phase
@@ -117,6 +132,12 @@ type JobStatus struct {
 	Spec JobSpec `json:"spec"`
 	// SubmittedNs is the submit time (unix nanoseconds).
 	SubmittedNs int64 `json:"submitted_ns"`
+	// FootprintBytes is the job's estimated resident tensor footprint,
+	// the number memory admission and backend selection key off. Zero
+	// when neither feature is enabled (the estimate is skipped).
+	FootprintBytes int64 `json:"footprint_bytes,omitempty"`
+	// Recovered marks jobs restored from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
 	// Error carries the failure message for failed jobs.
 	Error string `json:"error,omitempty"`
 	// Result is present once the job is done.
@@ -131,6 +152,13 @@ type job struct {
 	vspec     ccsd.VariantSpec
 	key       string
 	submitted time.Time
+	// foot is the estimated tensor footprint; accounted tracks whether
+	// it is currently counted against the server's memory budget (set
+	// at admission, cleared exactly once at the terminal transition,
+	// both under Server.mu). recovered marks journal-restored jobs.
+	foot      int64
+	accounted bool
+	recovered bool
 
 	cancel     chan struct{}
 	cancelOnce sync.Once
@@ -173,11 +201,13 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:          j.id,
-		State:       j.state,
-		PlanKey:     j.key,
-		Spec:        j.spec,
-		SubmittedNs: j.submitted.UnixNano(),
+		ID:             j.id,
+		State:          j.state,
+		PlanKey:        j.key,
+		Spec:           j.spec,
+		SubmittedNs:    j.submitted.UnixNano(),
+		FootprintBytes: j.foot,
+		Recovered:      j.recovered,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The durable job journal: an append-only, length-prefixed record log
+// that persists every job lifecycle transition so a restarted daemon
+// can restore terminal results verbatim and re-enqueue interrupted
+// jobs. Re-execution is safe because compiled plans are pure functions
+// of their spec and Global Arrays accumulation is ordered: a recovered
+// job recomputes a bitwise-identical energy.
+//
+// On-disk layout (all integers little-endian):
+//
+//	8-byte magic "CCSDJNL1"
+//	repeated records: uint32 payload length | uint32 CRC-32 (IEEE) of
+//	payload | payload (JSON-encoded Record)
+//
+// Appends are atomic at the record level in the crash model that
+// matters here (SIGKILL of the process): a torn final record fails its
+// length or CRC check and is truncated away on the next open, so
+// replay always sees a clean prefix of the history. Corruption is
+// detected, never silently skipped — replay stops at the first bad
+// record and discards everything after it, preserving the append-only
+// prefix property.
+
+// journalMagic identifies (and versions) the journal file format.
+const journalMagic = "CCSDJNL1"
+
+// Record ops, one per journal-worthy event.
+const (
+	// OpBoot marks a daemon start and carries the boot epoch that
+	// namespaces the job IDs issued during that run.
+	OpBoot = "boot"
+	// OpSubmit records an admitted job: ID, spec, plan key, submit time.
+	OpSubmit = "submit"
+	// OpRunning records that an executor picked the job up.
+	OpRunning = "running"
+	// OpDone records successful completion with the full result.
+	OpDone = "done"
+	// OpFailed records execution failure with the error text.
+	OpFailed = "failed"
+	// OpCanceled records cancellation reaching a terminal state.
+	OpCanceled = "canceled"
+)
+
+// Record is one journal entry. Op selects which fields are meaningful.
+type Record struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Epoch is the per-boot ID namespace (OpBoot only).
+	Epoch int `json:"epoch,omitempty"`
+	// ID is the job the record concerns (all ops except OpBoot).
+	ID string `json:"id,omitempty"`
+	// Key is the job's plan cache key (OpSubmit).
+	Key string `json:"key,omitempty"`
+	// Spec is the validated submit body (OpSubmit).
+	Spec *JobSpec `json:"spec,omitempty"`
+	// SubmittedNs is the submit wall time in unix nanoseconds (OpSubmit).
+	SubmittedNs int64 `json:"submitted_ns,omitempty"`
+	// Result is the full job result (OpDone).
+	Result *JobResult `json:"result,omitempty"`
+	// Error is the failure message (OpFailed).
+	Error string `json:"error,omitempty"`
+}
+
+// Journal is an open append-only job log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (or creates) the journal at path, replays every
+// intact record, truncates any torn or corrupt tail, and returns the
+// journal positioned for appends plus the replayed records in append
+// order.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop the torn/corrupt tail (if any) so appends extend a clean
+	// prefix instead of burying garbage mid-file.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if good == 0 {
+		if _, err := f.Write([]byte(journalMagic)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, recs, nil
+}
+
+// replay reads records until EOF or the first bad record, returning the
+// intact records and the byte offset of the end of the clean prefix.
+func replay(f *os.File) ([]Record, int64, error) {
+	magic := make([]byte, len(journalMagic))
+	n, err := io.ReadFull(f, magic)
+	if err == io.EOF && n == 0 {
+		return nil, 0, nil // fresh file
+	}
+	if err != nil || string(magic) != journalMagic {
+		return nil, 0, fmt.Errorf("serve: journal has bad magic (not a job journal?)")
+	}
+	var (
+		recs []Record
+		good = int64(len(journalMagic))
+		hdr  [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return recs, good, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > 16<<20 {
+			return recs, good, nil // implausible length: treat as torn
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, good, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, good, nil // corrupt record: stop at the prefix
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, nil
+		}
+		recs = append(recs, rec)
+		good += 8 + int64(length)
+	}
+}
+
+// Append encodes rec and writes one length-prefixed, checksummed record.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serve: journal closed")
+	}
+	_, err = j.f.Write(buf)
+	return err
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// replayState is the in-memory reduction of a journal: the final state
+// of every job mentioned, with the state machine invariants enforced
+// (submit must precede transitions, terminal states never regress).
+type replayState struct {
+	// MaxEpoch is the highest boot epoch seen; the next boot uses
+	// MaxEpoch+1 so job IDs are unique across every restart.
+	MaxEpoch int
+	// Jobs maps job ID to its reduced record, in first-submit order
+	// (Order keeps the deterministic re-enqueue sequence).
+	Jobs  map[string]*replayJob
+	Order []string
+}
+
+// replayJob is one job's journal-reduced state.
+type replayJob struct {
+	// ID, Key, Spec, SubmittedNs echo the submit record.
+	ID          string
+	Key         string
+	Spec        JobSpec
+	SubmittedNs int64
+	// State is the final replayed state (queued/running collapse to
+	// queued for re-enqueue; terminal states are preserved verbatim).
+	State JobState
+	// Result is present for done jobs, Error for failed ones.
+	Result *JobResult
+	Error  string
+}
+
+// reduceRecords folds a record sequence into per-job final states.
+// Records that violate the state machine (transitions before submit,
+// transitions out of a terminal state, duplicate submits) are ignored:
+// the journal is data, not trusted input, and replay must hold the
+// invariants regardless of what the file contains.
+func reduceRecords(recs []Record) *replayState {
+	st := &replayState{Jobs: make(map[string]*replayJob)}
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpBoot:
+			if rec.Epoch > st.MaxEpoch {
+				st.MaxEpoch = rec.Epoch
+			}
+		case OpSubmit:
+			if rec.ID == "" || rec.Spec == nil {
+				continue
+			}
+			if _, dup := st.Jobs[rec.ID]; dup {
+				continue
+			}
+			st.Jobs[rec.ID] = &replayJob{
+				ID:          rec.ID,
+				Key:         rec.Key,
+				Spec:        *rec.Spec,
+				SubmittedNs: rec.SubmittedNs,
+				State:       JobQueued,
+			}
+			st.Order = append(st.Order, rec.ID)
+		case OpRunning:
+			if jb, ok := st.Jobs[rec.ID]; ok && !jb.State.Terminal() {
+				jb.State = JobRunning
+			}
+		case OpDone:
+			if jb, ok := st.Jobs[rec.ID]; ok && !jb.State.Terminal() && rec.Result != nil {
+				jb.State = JobDone
+				jb.Result = rec.Result
+			}
+		case OpFailed:
+			if jb, ok := st.Jobs[rec.ID]; ok && !jb.State.Terminal() {
+				jb.State = JobFailed
+				jb.Error = rec.Error
+			}
+		case OpCanceled:
+			if jb, ok := st.Jobs[rec.ID]; ok && !jb.State.Terminal() {
+				jb.State = JobCanceled
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleRecords builds a plausible journal history: a boot, a handful of
+// jobs in every terminal and non-terminal state, and a second boot.
+func sampleRecords() []Record {
+	spec := func(preset string) *JobSpec {
+		return &JobSpec{Preset: preset, Variant: "v5"}
+	}
+	return []Record{
+		{Op: OpBoot, Epoch: 1},
+		{Op: OpSubmit, ID: "j1-000001", Key: "k1", Spec: spec("water"), SubmittedNs: 100},
+		{Op: OpRunning, ID: "j1-000001"},
+		{Op: OpDone, ID: "j1-000001", Result: &JobResult{Energy: -0.123456789012345, Tasks: 42, Backend: BackendInProcess}},
+		{Op: OpSubmit, ID: "j1-000002", Key: "k2", Spec: spec("benzene"), SubmittedNs: 200},
+		{Op: OpRunning, ID: "j1-000002"},
+		{Op: OpFailed, ID: "j1-000002", Error: "boom"},
+		{Op: OpSubmit, ID: "j1-000003", Key: "k1", Spec: spec("water"), SubmittedNs: 300},
+		{Op: OpCanceled, ID: "j1-000003"},
+		{Op: OpSubmit, ID: "j1-000004", Key: "k2", Spec: spec("benzene"), SubmittedNs: 400},
+		{Op: OpRunning, ID: "j1-000004"},
+		{Op: OpBoot, Epoch: 2},
+		{Op: OpSubmit, ID: "j2-000001", Key: "k1", Spec: spec("water"), SubmittedNs: 500},
+		{Op: OpDone, ID: "j1-000004", Result: &JobResult{Energy: -0.5, Tasks: 7, Backend: BackendNetrun, Ranks: 2}},
+	}
+}
+
+// writeJournal appends recs to a fresh journal at path.
+func writeJournal(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	j, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(replayed))
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordsEqual compares record slices through their JSON encoding (the
+// journal's own canonical form); nil and empty are the same history.
+func recordsEqual(a, b []Record) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == len(b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	return string(ja) == string(jb)
+}
+
+// TestJournalRoundTrip appends a history, reopens, and gets it back
+// verbatim.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	want := sampleRecords()
+	writeJournal(t, path, want)
+
+	j, got, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !recordsEqual(got, want) {
+		t.Fatalf("replayed %d records != appended %d", len(got), len(want))
+	}
+	// Results survive bit-for-bit: the recovered energy is the recorded
+	// float64, not a reformatted approximation.
+	if got[3].Result.Energy != want[3].Result.Energy {
+		t.Fatalf("energy %v != %v after round trip", got[3].Result.Energy, want[3].Result.Energy)
+	}
+}
+
+// TestJournalBadMagic rejects files that are not journals.
+func TestJournalBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("OpenJournal accepted a non-journal file")
+	}
+}
+
+// TestJournalAppendAfterClose fails cleanly.
+func TestJournalAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(Record{Op: OpBoot, Epoch: 1}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+// TestJournalKillPoints is the replay property test: for every byte
+// offset at which a SIGKILL could tear the file, reopening must succeed,
+// yield a clean prefix of the original history, truncate the torn tail,
+// and accept new appends that a further reopen then returns.
+func TestJournalKillPoints(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.journal")
+	want := sampleRecords()
+	writeJournal(t, full, want)
+	blob, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prefixLen := func(got []Record) int {
+		for n := len(want); n >= 0; n-- {
+			if recordsEqual(got, want[:n]) {
+				return n
+			}
+		}
+		return -1
+	}
+
+	path := filepath.Join(dir, "torn.journal")
+	for cut := len(journalMagic); cut <= len(blob); cut++ {
+		if err := os.WriteFile(path, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, got, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: OpenJournal: %v", cut, err)
+		}
+		n := prefixLen(got)
+		if n < 0 {
+			t.Fatalf("cut=%d: replayed records are not a prefix of the history", cut)
+		}
+		// The torn tail is gone: appends extend the clean prefix and a
+		// further reopen sees prefix + appended, nothing else.
+		extra := Record{Op: OpBoot, Epoch: 99}
+		if err := j.Append(extra); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		j.Close()
+		j2, got2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: second reopen: %v", cut, err)
+		}
+		j2.Close()
+		if !recordsEqual(got2, append(append([]Record{}, want[:n]...), extra)) {
+			t.Fatalf("cut=%d: reopen after append: got %d records, want prefix(%d)+1", cut, len(got2), n)
+		}
+		// And the state machine holds on every prefix: terminal states in
+		// the reduction must agree with the full history's reduction for
+		// every job that reached a terminal state before the cut.
+		st := reduceRecords(got2[:n])
+		fullSt := reduceRecords(want)
+		for id, jb := range st.Jobs {
+			if jb.State.Terminal() {
+				if fullJb := fullSt.Jobs[id]; fullJb.State != jb.State {
+					t.Fatalf("cut=%d: job %s terminal state %s regressed vs full history %s",
+						cut, id, jb.State, fullJb.State)
+				}
+			}
+		}
+	}
+}
+
+// TestJournalCorruptMiddle flips one random payload byte at a time: the
+// replayed history must always be a clean prefix (corruption is detected
+// by the CRC, never silently skipped over).
+func TestJournalCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.journal")
+	want := sampleRecords()
+	writeJournal(t, full, want)
+	blob, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	path := filepath.Join(dir, "corrupt.journal")
+	for trial := 0; trial < 100; trial++ {
+		i := len(journalMagic) + rng.Intn(len(blob)-len(journalMagic))
+		mutated := append([]byte{}, blob...)
+		mutated[i] ^= byte(1 + rng.Intn(255))
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, got, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("trial %d (byte %d): OpenJournal: %v", trial, i, err)
+		}
+		j.Close()
+		isPrefix := false
+		for n := 0; n <= len(want); n++ {
+			if recordsEqual(got, want[:n]) {
+				isPrefix = true
+				break
+			}
+		}
+		// A flipped byte inside a JSON payload can still decode (the CRC
+		// catches it, but a flip in a free-text field keeps valid JSON yet
+		// fails the checksum — either way replay must stop at or before
+		// that record, so the result is a prefix).
+		if !isPrefix {
+			t.Fatalf("trial %d (byte %d): corrupted journal replayed a non-prefix (%d records)", trial, i, len(got))
+		}
+	}
+}
+
+// TestReduceRecordsInvariants feeds reduceRecords hostile sequences: the
+// state machine must hold no matter what the file contains.
+func TestReduceRecordsInvariants(t *testing.T) {
+	spec := &JobSpec{Preset: "water", Variant: "v5"}
+	doneRes := &JobResult{Energy: -1, Tasks: 1}
+
+	st := reduceRecords([]Record{
+		// Transitions before any submit: ignored.
+		{Op: OpRunning, ID: "ghost"},
+		{Op: OpDone, ID: "ghost", Result: doneRes},
+		// A normal life, then post-terminal garbage: terminal wins.
+		{Op: OpSubmit, ID: "a", Spec: spec, Key: "k"},
+		{Op: OpDone, ID: "a", Result: doneRes},
+		{Op: OpCanceled, ID: "a"},
+		{Op: OpFailed, ID: "a", Error: "late"},
+		// Duplicate submit keeps the first spec.
+		{Op: OpSubmit, ID: "b", Spec: spec, SubmittedNs: 1},
+		{Op: OpSubmit, ID: "b", Spec: &JobSpec{Preset: "benzene"}, SubmittedNs: 2},
+		// A done record without a result does not mark the job done.
+		{Op: OpSubmit, ID: "c", Spec: spec},
+		{Op: OpDone, ID: "c"},
+		// Submit without a spec: ignored entirely.
+		{Op: OpSubmit, ID: "d"},
+		// Epochs take the max, in any order.
+		{Op: OpBoot, Epoch: 5},
+		{Op: OpBoot, Epoch: 3},
+	})
+
+	if _, ok := st.Jobs["ghost"]; ok {
+		t.Error("transitions before submit created a job")
+	}
+	if jb := st.Jobs["a"]; jb.State != JobDone || jb.Result == nil || jb.Error != "" {
+		t.Errorf("job a = %+v, want done with result (terminal state regressed)", jb)
+	}
+	if jb := st.Jobs["b"]; jb.Spec.Preset != "water" || jb.SubmittedNs != 1 {
+		t.Errorf("duplicate submit overwrote job b: %+v", jb)
+	}
+	if jb := st.Jobs["c"]; jb.State != JobQueued {
+		t.Errorf("result-less done record moved job c to %s", jb.State)
+	}
+	if _, ok := st.Jobs["d"]; ok {
+		t.Error("spec-less submit created a job")
+	}
+	if st.MaxEpoch != 5 {
+		t.Errorf("MaxEpoch = %d, want 5", st.MaxEpoch)
+	}
+	if !reflect.DeepEqual(st.Order, []string{"a", "b", "c"}) {
+		t.Errorf("Order = %v, want [a b c]", st.Order)
+	}
+}
