@@ -356,7 +356,10 @@ func BenchmarkPTGvsDTD(b *testing.B) {
 		b.ReportAllocs()
 		var edges int
 		for i := 0; i < b.N; i++ {
-			e, _ := ccsd.BuildDTD(w, false)
+			e, _, err := ccsd.BuildDTD(w, spec, false)
+			if err != nil {
+				b.Fatal(err)
+			}
 			edges = e.NumEdges()
 		}
 		b.ReportMetric(float64(edges), "dag-edges")
@@ -368,8 +371,9 @@ func BenchmarkPTGvsDTD(b *testing.B) {
 func BenchmarkDTDExecution(b *testing.B) {
 	w := tce.Inspect(tce.T2_7(molecule.Water631G()), nil)
 	ref := ccsd.ReferenceEnergy(w)
+	spec, _ := ccsd.VariantByName("v1")
 	for i := 0; i < b.N; i++ {
-		got, err := ccsd.RunDTD(w, 4)
+		got, err := ccsd.RunDTD(w, spec, 4)
 		if err != nil {
 			b.Fatal(err)
 		}

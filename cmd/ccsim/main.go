@@ -75,6 +75,12 @@ func main() {
 	faultCores := flag.Int("faultcores", 7, "cores/node for the -faults runs")
 	realDist := flag.Int("real-dist", 0, "run the variants with real arithmetic across N worker OS processes over loopback sockets and check each energy against the single-process runtime")
 	distWorkers := flag.Int("distworkers", 2, "worker goroutines per rank process for -real-dist")
+	tuneRun := flag.Bool("tune", false, "search the recipe space with the simulator from -tunestart and check the best shape against hand-derived v5")
+	tuneOut := flag.String("tuneout", "", "write the -tune result as JSON to this file (default docs/tune.json, or no file under -quick)")
+	tuneBudget := flag.Int("tunebudget", 64, "simulator-evaluation budget for -tune")
+	tuneSeed := flag.Int64("tuneseed", 1833, "seed for the -tune neighbor-order shuffle (fixed seed => bit-identical output)")
+	tuneStart := flag.String("tunestart", "v1", "recipe the -tune climb starts from (name or flat grammar)")
+	tuneCores := flag.Int("tunecores", 7, "cores/node for the -tune runs")
 	flag.Parse()
 
 	// Validate the enumerated flags up front so a typo fails with the
@@ -91,6 +97,9 @@ func main() {
 	if err := validateVariants(*variants); err != nil {
 		fatal(err)
 	}
+	if _, err := ccsd.VariantByName(*tuneStart); err != nil {
+		fatal(fmt.Errorf("bad -tunestart: %w", err))
+	}
 
 	if *kernels {
 		if err := runKernels(*kernelsOut, *kernelsBaseline, *verbose); err != nil {
@@ -101,11 +110,12 @@ func main() {
 
 	if *quick {
 		*preset = "benzene"
-		if *faults {
+		if *faults || *tuneRun {
 			// benzene at 8 nodes leaves the 7-core workers underfed: a
 			// straggler barely queues anything, so re-dispatch has nothing
-			// to recover and the criterion is meaningless. uracil keeps the
-			// smoke run subsecond with a real backlog.
+			// to recover and the criteria are meaningless. uracil keeps the
+			// smoke run subsecond with a real backlog; the tuner needs the
+			// same backlog for the variant ordering to show.
 			*preset = "uracil"
 		}
 		*nodes = 8
@@ -137,7 +147,7 @@ func main() {
 		if !flagWasSet("variants") {
 			*variants = "v2,v5"
 		}
-		if err := runRealDist(*preset, strings.Split(*variants, ","), *realDist, *distWorkers, *verbose); err != nil {
+		if err := runRealDist(*preset, splitVariants(*variants), *realDist, *distWorkers, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -151,7 +161,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	names := strings.Split(*variants, ",")
+	names := splitVariants(*variants)
+
+	if *tuneRun {
+		out := *tuneOut
+		if out == "" && !flagWasSet("tuneout") && !*quick {
+			out = "docs/tune.json"
+		}
+		mcfg := cluster.CascadeLike()
+		mcfg.Nodes = *nodes
+		if err := runTune(sys, mcfg, *tuneCores, *tuneStart, *tuneBudget, *tuneSeed, out, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *faults {
 		out := *faultsOut
@@ -355,8 +378,9 @@ func validateSweep(name string) error {
 	return fmt.Errorf("unknown -sweep %q (accepted: %s)", name, strings.Join(sweepNames, ", "))
 }
 
-// variantNames lists the accepted -variants entries: the CGP baseline
-// plus every PTG variant.
+// variantNames lists the named -variants entries: the CGP baseline
+// plus every PTG variant. Flat recipe strings are accepted too — see
+// splitVariants and xform.Grammar.
 func variantNames() []string {
 	names := []string{"original"}
 	for _, v := range ccsd.Variants() {
@@ -365,21 +389,42 @@ func variantNames() []string {
 	return names
 }
 
-// validateVariants rejects malformed or unknown -variants lists.
-func validateVariants(csv string) error {
-	accepted := variantNames()
-	ok := func(name string) bool {
-		for _, n := range accepted {
-			if n == name {
-				return true
+// splitVariants parses a -variants list into series entries. Terms are
+// comma-separated; consecutive key=value terms (the flat recipe
+// grammar) merge into one recipe entry, so
+//
+//	-variants original,v5,seg=1,tree=3,fission=none
+//
+// is three series: original, v5, and the derived recipe. A ";" starts a
+// new entry unconditionally, for lists of adjacent recipes that would
+// otherwise merge ("seg=1;seg=2").
+func splitVariants(csv string) []string {
+	var out []string
+	for _, group := range strings.Split(csv, ";") {
+		inRecipe := false
+		for _, term := range strings.Split(group, ",") {
+			term = strings.TrimSpace(term)
+			if inRecipe && strings.Contains(term, "=") {
+				out[len(out)-1] += "," + term
+				continue
 			}
+			out = append(out, term)
+			inRecipe = strings.Contains(term, "=")
 		}
-		return false
 	}
-	for _, part := range strings.Split(csv, ",") {
-		name := strings.TrimSpace(part)
-		if name == "" || !ok(name) {
-			return fmt.Errorf("bad -variants entry %q in %q (accepted: %s)", name, csv, strings.Join(accepted, ", "))
+	return out
+}
+
+// validateVariants rejects malformed or unknown -variants lists up
+// front, so a typo fails with the accepted names and the full recipe
+// grammar instead of deep inside a run.
+func validateVariants(csv string) error {
+	for _, name := range splitVariants(csv) {
+		if name == "original" {
+			continue
+		}
+		if _, err := ccsd.VariantByName(name); err != nil {
+			return fmt.Errorf("bad -variants entry %q in %q: %w", name, csv, err)
 		}
 	}
 	return nil

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	variant := flag.String("variant", "v4", "what to trace: original, or v1..v5")
+	variant := flag.String("variant", "v4", "what to trace: original, v1..v5, or a flat recipe (seg=...,fission=...)")
 	preset := flag.String("preset", "benzene", "molecule preset: water, benzene, betacarotene")
 	nodes := flag.Int("nodes", 8, "number of nodes (small keeps the chart legible)")
 	cores := flag.Int("cores", 7, "cores (ranks) per node, as in Figs 10-12")

@@ -4,9 +4,16 @@
 // inspection-phase workload statistics, and optionally exports the fully
 // instantiated DAG in Graphviz DOT format for a small problem.
 //
+// The -variant flag accepts either a paper name (v1..v5) or a flat
+// recipe in the transformation-pass grammar, so a derived shape — say
+// one found by ccsim -tune — can be dumped and diffed like any named
+// variant:
+//
+//	ptgdump -variant seg=1,tree=4,fission=sorts -dot tuned.dot
+//
 // Usage:
 //
-//	ptgdump [-variant v5] [-preset water] [-nodes 4] [-dot out.dot]
+//	ptgdump [-variant v5|recipe] [-preset water] [-nodes 4] [-dot out.dot]
 package main
 
 import (
@@ -23,7 +30,7 @@ import (
 )
 
 func main() {
-	variant := flag.String("variant", "v5", "variant whose PTG to dump: v1..v5")
+	variant := flag.String("variant", "v5", "variant whose PTG to dump: v1..v5 or a flat recipe (seg=...,tree=...,fission=...,prio=...,span=...)")
 	kernel := flag.String("kernel", "t2_7", "TCE kernel: t2_7 or t1_2")
 	preset := flag.String("preset", "water", "molecule preset (keep small for -dot)")
 	nodes := flag.Int("nodes", 4, "nodes for affinity/priority computation")
@@ -51,7 +58,8 @@ func main() {
 
 	fmt.Printf("system:   %v\n", sys)
 	fmt.Printf("workload: %v\n", w.Stats())
-	fmt.Printf("variant:  %v\n\n", spec)
+	fmt.Printf("variant:  %v\n", spec)
+	fmt.Printf("shape:    %s\n\n", spec.MustShape().Canon())
 
 	counts, total := g.CountTasks()
 	fmt.Printf("%-10s %10s  flows\n", "class", "instances")

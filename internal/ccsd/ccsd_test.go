@@ -55,6 +55,7 @@ func TestVariantTaskCounts(t *testing.T) {
 	w := waterWorkload()
 	st := w.Stats()
 	for _, spec := range Variants() {
+		shape := spec.MustShape()
 		g := BuildGraph(w, spec, Options{Nodes: 4})
 		counts, _ := g.CountTasks()
 		if counts["GEMM"] != st.Gemms {
@@ -63,7 +64,7 @@ func TestVariantTaskCounts(t *testing.T) {
 		if counts["READA"] != st.Gemms || counts["READB"] != st.Gemms {
 			t.Errorf("%s: read counts %d/%d, want %d", spec.Name, counts["READA"], counts["READB"], st.Gemms)
 		}
-		if spec.SerialGemms {
+		if shape.SegHeight == 0 {
 			if counts["DFILL"] != st.Chains {
 				t.Errorf("v1: DFILL count %d, want %d (one per chain)", counts["DFILL"], st.Chains)
 			}
@@ -78,14 +79,14 @@ func TestVariantTaskCounts(t *testing.T) {
 				t.Errorf("%s: no REDUCE tasks", spec.Name)
 			}
 		}
-		if spec.ParallelSorts {
+		if shape.SortFission {
 			if counts["SORT"] != st.Sorts {
 				t.Errorf("%s: SORT count %d, want %d", spec.Name, counts["SORT"], st.Sorts)
 			}
 		} else if counts["SORT"] != st.Chains {
 			t.Errorf("%s: SORT count %d, want %d", spec.Name, counts["SORT"], st.Chains)
 		}
-		if spec.ParallelWrites {
+		if shape.WriteFission {
 			if counts["WRITE"] != st.Sorts {
 				t.Errorf("%s: WRITE count %d, want %d", spec.Name, counts["WRITE"], st.Sorts)
 			}
@@ -119,18 +120,18 @@ func buildAndRunWithHeight(t *testing.T, w *tce.Workload, spec VariantSpec, h in
 
 func TestChainPlanShapes(t *testing.T) {
 	meta := &tce.ChainMeta{Gemms: make([]tce.GemmMeta, 7)}
-	p := newChainPlan(meta, 1)
+	p := newChainPlan(meta, 1, 2)
 	if p.m != 7 || p.top != 3 {
 		t.Errorf("h=1: m=%d top=%d, want 7, 3", p.m, p.top)
 	}
 	if got := p.width; got[0] != 7 || got[1] != 4 || got[2] != 2 || got[3] != 1 {
 		t.Errorf("width = %v", got)
 	}
-	p = newChainPlan(meta, 7)
+	p = newChainPlan(meta, 7, 2)
 	if p.m != 1 || p.top != 0 {
 		t.Errorf("h=n: m=%d top=%d, want 1, 0", p.m, p.top)
 	}
-	p = newChainPlan(meta, 3)
+	p = newChainPlan(meta, 3, 2)
 	if p.m != 3 || p.segLast(0) != 2 || p.segLast(2) != 6 {
 		t.Errorf("h=3: m=%d lasts=%d,%d", p.m, p.segLast(0), p.segLast(2))
 	}
@@ -138,7 +139,7 @@ func TestChainPlanShapes(t *testing.T) {
 		t.Error("isSegEnd wrong")
 	}
 	// Height clamped to n.
-	p = newChainPlan(meta, 100)
+	p = newChainPlan(meta, 100, 2)
 	if p.h != 7 {
 		t.Errorf("h clamped to %d", p.h)
 	}
@@ -301,7 +302,8 @@ func TestDTDMatchesReference(t *testing.T) {
 		}
 		w := tce.Inspect(kr, nil)
 		ref := ReferenceEnergy(w)
-		got, err := RunDTD(w, 4)
+		v1, _ := VariantByName("v1")
+		got, err := RunDTD(w, v1, 4)
 		if err != nil {
 			t.Fatalf("%s: %v", k, err)
 		}
@@ -316,7 +318,11 @@ func TestDTDMatchesReference(t *testing.T) {
 // the PTG needs none before execution.
 func TestDTDBuildsDAGInMemory(t *testing.T) {
 	w := waterWorkload()
-	e, _ := BuildDTD(w, false)
+	v1, _ := VariantByName("v1")
+	e, _, err := BuildDTD(w, v1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := w.Stats()
 	// Each chain contributes: DFILL->GEMM0, GEMM i->i+1 (serial RW), and
 	// one edge per sort; GEMM input reads add no edges (blocks have no

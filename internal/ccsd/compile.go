@@ -10,6 +10,7 @@ import (
 	"parsec/internal/sched"
 	"parsec/internal/tce"
 	"parsec/internal/trace"
+	"parsec/internal/xform"
 )
 
 // CompiledPlan is the reusable front half of the pipeline: the inspected
@@ -26,6 +27,12 @@ type CompiledPlan struct {
 	// Opts is the graph shape (nodes, segment height, write span). The
 	// Store field is always nil here; executions bind their own store.
 	Opts Options
+	// Shape is the resolved plan shape: the spec's recipe with the
+	// Options overrides applied and normalized. Everything the chain
+	// plans and the graph skeleton depend on — besides the workload and
+	// node count — is in here, which is why the service's plan-cache key
+	// hashes its canonical string.
+	Shape xform.Shape
 	// Workload is the inspection result: chains, block shapes, FLOP
 	// counts, and the reference-energy machinery.
 	Workload *tce.Workload
@@ -42,14 +49,16 @@ type CompiledPlan struct {
 // (and cleared): stores are per-execution, not part of the plan.
 func Compile(sys *molecule.System, spec VariantSpec, opts Options) *CompiledPlan {
 	opts.Store = nil
+	shape := effectiveShape(spec, opts)
 	t0 := time.Now()
 	w := tce.Inspect(tce.T2_7(sys), nil)
 	t1 := time.Now()
-	ps := plans(w, spec, opts.SegmentHeight)
+	ps := plans(w, shape)
 	return &CompiledPlan{
 		Sys:         sys,
 		Spec:        spec,
 		Opts:        opts,
+		Shape:       shape,
 		Workload:    w,
 		InspectTime: t1.Sub(t0),
 		PlanTime:    time.Since(t1),
@@ -64,7 +73,7 @@ func Compile(sys *molecule.System, spec VariantSpec, opts Options) *CompiledPlan
 func (p *CompiledPlan) NewGraph(store ga.API) *ptg.Graph {
 	opts := p.Opts
 	opts.Store = store
-	return buildGraphFrom(p.Workload, p.Spec, opts, p.ps)
+	return buildGraphFrom(p.Workload, p.Spec.Name, p.Shape, opts, p.ps)
 }
 
 // NumChains returns the number of GEMM chains in the plan's workload.
@@ -135,7 +144,7 @@ func (p *CompiledPlan) Execute(cfg ExecConfig) (RealResult, error) {
 
 	g := p.NewGraph(store)
 	policy := sched.PriorityOrder
-	if !p.Spec.UsePriorities {
+	if !p.Spec.UsePriorities() {
 		policy = sched.LIFOOrder
 	}
 	rcfg := runtime.Config{

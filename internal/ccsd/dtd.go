@@ -6,21 +6,39 @@ import (
 	"parsec/internal/dtd"
 	"parsec/internal/tce"
 	"parsec/internal/tensor"
+	"parsec/internal/xform"
 )
 
 // BuildDTD expresses the ported kernel as a Dynamic Task Discovery
 // skeleton program — the alternative programming model of §VI: the
 // skeleton inserts one task per DFILL/GEMM/SORT/WRITE in program order,
 // declaring data accesses, and the engine discovers the dependency DAG in
-// memory by access matching. The expression is the natural DTD port (the
-// serial-chain organization; expressing the reduction-tree variants would
-// require restructuring the skeleton, which is exactly the flexibility
-// point the paper makes for the PTG).
+// memory by access matching.
+//
+// Only the serial-chain shapes of the recipe space are expressible: the
+// skeleton's GEMMs read-write one C per chain in program order, so
+// chain splitting, reduction trees, and write spans would require
+// restructuring the skeleton — which is exactly the flexibility point
+// the paper makes for the PTG, and BuildDTD returns an error for such
+// shapes rather than silently building the wrong graph. Sort fission
+// maps naturally (one read-only SORTWRITE per branch vs one merged
+// task), and the priority scheme carries over to the engine's queue.
 //
 // If materialize is true, input blocks are seeded and task bodies perform
 // the real arithmetic; otherwise bodies are nil and the engine only
 // builds the DAG (for construction-cost comparisons).
-func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTensor4) {
+func BuildDTD(w *tce.Workload, spec VariantSpec, materialize bool) (*dtd.Engine, *tensor.BlockTensor4, error) {
+	shape, err := spec.Shape()
+	if err != nil {
+		return nil, nil, err
+	}
+	if shape.SegHeight != 0 {
+		return nil, nil, fmt.Errorf("ccsd: DTD skeleton cannot express seg=%d (serial chains only; use the PTG builders)", shape.SegHeight)
+	}
+	if shape.WriteSpan > 1 {
+		return nil, nil, fmt.Errorf("ccsd: DTD skeleton cannot express span=%d (the write is fused into each SORT; use the PTG builders)", shape.WriteSpan)
+	}
+	usePrio := shape.Prio == xform.PrioPaper
 	e := dtd.New()
 	out := tensor.NewBlockTensor4()
 	var a, b *tensor.BlockTensor4
@@ -38,7 +56,10 @@ func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTens
 	for _, c := range w.Chains {
 		c := c
 		ckey := fmt.Sprintf("C(%d)", c.ID)
-		prio := numChains - int64(c.ID)
+		var prio int64
+		if usePrio {
+			prio = numChains - int64(c.ID)
+		}
 		var body func(*dtd.Ctx)
 		if materialize {
 			body = func(ctx *dtd.Ctx) {
@@ -47,6 +68,10 @@ func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTens
 			}
 		}
 		e.Insert(fmt.Sprintf("DFILL(%d)", c.ID), prio, body, dtd.Write(ckey))
+		gemmPrio := prio
+		if usePrio {
+			gemmPrio += numChains
+		}
 		for pos, g := range c.Gemms {
 			g := g
 			if materialize {
@@ -57,35 +82,57 @@ func BuildDTD(w *tce.Workload, materialize bool) (*dtd.Engine, *tensor.BlockTens
 					tensor.Gemm(true, false, 1, at.AsMatrix(), bt.AsMatrix(), 1, ct.AsMatrix())
 				}
 			}
-			e.Insert(fmt.Sprintf("GEMM(%d,%d)", c.ID, pos), prio+int64(numChains), body,
+			e.Insert(fmt.Sprintf("GEMM(%d,%d)", c.ID, pos), gemmPrio, body,
 				dtd.ReadWrite(ckey), dtd.Read(g.Op.A.String()), dtd.Read(g.Op.B.String()))
 		}
-		for _, s := range c.Sorts {
-			s := s
+		if shape.SortFission {
+			for _, s := range c.Sorts {
+				s := s
+				if materialize {
+					body = func(ctx *dtd.Ctx) {
+						src := ctx.Get(ckey).(*tensor.Tile4)
+						d := c.Out.Dims
+						// Scratch only: Acc folds the sorted block into the
+						// output tensor immediately, so the tile is recycled.
+						dst := tensor.GetTile4(d[0], d[1], d[2], d[3])
+						tensor.Sort4(dst, src, s.Perm, s.Sign)
+						out.Acc(c.Out.Key, dst, 1)
+						tensor.PutTile4(dst)
+					}
+				}
+				e.Insert(fmt.Sprintf("SORTWRITE(%d,%d)", c.ID, s.Branch), prio, body,
+					dtd.Read(ckey))
+			}
+		} else {
+			// Fused sorts: one task performs every active SORT_4 serially
+			// (Fig 5), accumulating into a single buffer before the write.
 			if materialize {
 				body = func(ctx *dtd.Ctx) {
 					src := ctx.Get(ckey).(*tensor.Tile4)
 					d := c.Out.Dims
-					// Scratch only: Acc folds the sorted block into the
-					// output tensor immediately, so the tile is recycled.
-					dst := tensor.GetTile4(d[0], d[1], d[2], d[3])
-					tensor.Sort4(dst, src, s.Perm, s.Sign)
+					dst := tensor.GetTile4Zeroed(d[0], d[1], d[2], d[3])
+					for _, s := range c.Sorts {
+						tensor.Sort4Add(dst, src, s.Perm, s.Sign)
+					}
 					out.Acc(c.Out.Key, dst, 1)
 					tensor.PutTile4(dst)
 				}
 			}
-			e.Insert(fmt.Sprintf("SORTWRITE(%d,%d)", c.ID, s.Branch), prio, body,
-				dtd.Read(ckey))
+			e.Insert(fmt.Sprintf("SORTWRITE(%d)", c.ID), prio, body, dtd.Read(ckey))
 		}
 	}
-	return e, out
+	return e, out, nil
 }
 
 // RunDTD executes the workload through the DTD engine with real
 // arithmetic and returns the correlation-energy functional, which must
-// match the PTG variants and the serial reference.
-func RunDTD(w *tce.Workload, workers int) (float64, error) {
-	e, out := BuildDTD(w, true)
+// match the PTG variants and the serial reference. The spec selects the
+// (serial-chain) shape; Variants()[0] (v1) is the natural DTD port.
+func RunDTD(w *tce.Workload, spec VariantSpec, workers int) (float64, error) {
+	e, out, err := BuildDTD(w, spec, true)
+	if err != nil {
+		return 0, err
+	}
 	if err := e.Run(workers); err != nil {
 		return 0, err
 	}

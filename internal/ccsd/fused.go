@@ -222,7 +222,7 @@ func fusedSpec() VariantSpec {
 // outputs feed the energy stage directly, with the WRITE tasks still
 // persisting i0 to the Global Array.
 func BuildFused(w *tce.Workload, opts Options, result *float64) *ptg.Graph {
-	spec := fusedSpec()
+	shape := effectiveShape(fusedSpec(), opts)
 	nodes := opts.Nodes
 	if nodes <= 0 {
 		nodes = 1
@@ -230,9 +230,9 @@ func BuildFused(w *tce.Workload, opts Options, result *float64) *ptg.Graph {
 	b := &builder{
 		g:     ptg.NewGraph("icsd_t2_7+energy-fused"),
 		w:     w,
-		spec:  spec,
+		shape: shape,
 		opts:  opts,
-		ps:    plans(w, spec, opts.SegmentHeight),
+		ps:    plans(w, shape),
 		nodes: nodes,
 	}
 	b.buildDFill()
@@ -258,12 +258,13 @@ func BuildEnergyStaged(w *tce.Workload, opts Options, result *float64) *ptg.Grap
 	if nodes <= 0 {
 		nodes = 1
 	}
+	shape := effectiveShape(fusedSpec(), opts)
 	b := &builder{
 		g:     ptg.NewGraph("energy-staged"),
 		w:     w,
-		spec:  fusedSpec(),
+		shape: shape,
 		opts:  opts,
-		ps:    plans(w, fusedSpec(), opts.SegmentHeight),
+		ps:    plans(w, shape),
 		nodes: nodes,
 	}
 	b.buildEnergyStage(result, false)
@@ -340,7 +341,7 @@ func RunSimFusion(sys *molecule.System, mcfg cluster.Config, cores int) (FusionR
 	wF := tce.Inspect(tce.T2_7(sys), func(ref tce.BlockRef) int {
 		return gsF.Distribution().Owner(ref.Tensor, ref.Key)
 	})
-	psF := plans(wF, spec, 0)
+	psF := plans(wF, spec.MustShape())
 	gF := BuildFused(wF, Options{Nodes: mcfg.Nodes}, nil)
 	resF, err := simexec.Run(gF, mF, gsF, simexec.Config{
 		CoresPerNode: cores,

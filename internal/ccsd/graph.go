@@ -7,6 +7,7 @@ import (
 	"parsec/internal/ptg"
 	"parsec/internal/tce"
 	"parsec/internal/tensor"
+	"parsec/internal/xform"
 )
 
 // Options configures graph construction.
@@ -20,24 +21,16 @@ type Options struct {
 	// runtime). When nil the graph carries only the simulation cost
 	// model.
 	Store ga.API
-	// SegmentHeight overrides the GEMM segment height; <= 0 selects the
-	// variant default (full chain for v1, height 1 otherwise). This is
-	// the locality/parallelism dial of §IV-A.
+	// SegmentHeight overrides the recipe's GEMM segment height; <= 0
+	// keeps the recipe's value (full chain for v1, height 1 for v2-v5).
+	// This is the locality/parallelism dial of §IV-A.
 	SegmentHeight int
-	// WriteSpan > 1 splits each output block across that many adjacent
-	// nodes, as Fig 8 depicts: one WRITE_C instance per node holding a
-	// segment, each receiving only the slice of the sorted matrix
-	// relevant to its node. Applies to the single-WRITE variants
-	// (v2/v4/v5); 0 or 1 keeps one instance per chain.
+	// WriteSpan > 1 overrides the recipe's write span: each output block
+	// splits across that many adjacent nodes, as Fig 8 depicts — one
+	// WRITE_C instance per node holding a segment, each receiving only
+	// the slice of the sorted matrix relevant to its node. Applies to
+	// the fused-write shapes (v2/v4/v5); 0 keeps the recipe's value.
 	WriteSpan int
-}
-
-// writeSpan returns the effective span (>= 1).
-func (o Options) writeSpan() int {
-	if o.WriteSpan < 1 {
-		return 1
-	}
-	return o.WriteSpan
 }
 
 // Priority offsets of §IV-C: "We assign a higher priority to the tasks
@@ -50,11 +43,12 @@ const (
 	gemmPriorityOffset = 1
 )
 
-// builder carries construction state.
+// builder carries construction state: the resolved plan shape (recipe
+// plus Options overrides) and the per-chain plans realized from it.
 type builder struct {
 	g     *ptg.Graph
 	w     *tce.Workload
-	spec  VariantSpec
+	shape xform.Shape
 	opts  Options
 	ps    []*chainPlan
 	nodes int
@@ -62,21 +56,22 @@ type builder struct {
 
 // BuildGraph constructs the PTG for one variant of the ported subroutine.
 func BuildGraph(w *tce.Workload, spec VariantSpec, opts Options) *ptg.Graph {
-	return buildGraphFrom(w, spec, opts, plans(w, spec, opts.SegmentHeight))
+	shape := effectiveShape(spec, opts)
+	return buildGraphFrom(w, spec.Name, shape, opts, plans(w, shape))
 }
 
-// buildGraphFrom is BuildGraph with the chain plans supplied by the
-// caller, so a CompiledPlan can rebind its cached plans to a fresh
-// per-job store without re-deriving them.
-func buildGraphFrom(w *tce.Workload, spec VariantSpec, opts Options, ps []*chainPlan) *ptg.Graph {
+// buildGraphFrom is BuildGraph with the shape resolved and the chain
+// plans supplied by the caller, so a CompiledPlan can rebind its cached
+// plans to a fresh per-job store without re-deriving them.
+func buildGraphFrom(w *tce.Workload, name string, shape xform.Shape, opts Options, ps []*chainPlan) *ptg.Graph {
 	nodes := opts.Nodes
 	if nodes <= 0 {
 		nodes = 1
 	}
 	b := &builder{
-		g:     ptg.NewGraph(fmt.Sprintf("icsd_t2_7-%s", spec.Name)),
+		g:     ptg.NewGraph(fmt.Sprintf("icsd_t2_7-%s", name)),
 		w:     w,
-		spec:  spec,
+		shape: shape,
 		opts:  opts,
 		ps:    ps,
 		nodes: nodes,
@@ -105,14 +100,28 @@ func (b *builder) ownerNode(recorded int) int {
 }
 
 // priority returns the §IV-C expression max_L1 - L1 + offset*P, or nil
-// when the variant disables priorities.
+// when the shape's priority scheme is none.
 func (b *builder) priority(offset int) func(ptg.Args) int64 {
-	if !b.spec.UsePriorities {
+	if b.shape.Prio != xform.PrioPaper {
 		return nil
 	}
 	max := int64(b.numChains())
 	p := int64(b.nodes)
 	return func(a ptg.Args) int64 { return max - int64(a[0]) + int64(offset)*p }
+}
+
+// reduceFlow names the REDUCE input flow of the which-th child: "X" is
+// the read-write accumulator branch, "Y", "Y2", ... the read-only
+// siblings folded into it. Arity-2 trees therefore keep the historical
+// X/Y naming bit-for-bit.
+func reduceFlow(which int) string {
+	switch which {
+	case 0:
+		return "X"
+	case 1:
+		return "Y"
+	}
+	return fmt.Sprintf("Y%d", which)
 }
 
 // sortSource identifies the producer of a chain's final C: the last GEMM
@@ -129,7 +138,7 @@ func (b *builder) sortSource(l1 int) (ptg.TaskRef, string) {
 // chain's final C to its SORT task(s). srcGuard limits firing to the
 // producing instance.
 func (b *builder) addSortStageOuts(f *ptg.Flow, srcGuard func(ptg.Args) bool) {
-	if b.spec.ParallelSorts {
+	if b.shape.SortFission {
 		for i := 0; i < 4; i++ {
 			i := i
 			f.Out(func(a ptg.Args) bool {
@@ -171,7 +180,7 @@ func (b *builder) buildDFill() {
 		tc.Body = func(ctx *ptg.Ctx) {
 			d := b.ps[ctx.Args[0]].meta.CDims
 			// Pooled: the chain accumulator is recycled by the consumer
-			// that retires it (REDUCE folds its Y branch, the serial SORT
+			// that retires it (REDUCE folds its Y branches, the serial SORT
 			// retires the chain's final C).
 			ctx.Out[0] = tensor.GetTile4ZeroedIn(ctx.Pool, d[0], d[1], d[2], d[3])
 		}
@@ -293,11 +302,7 @@ func (b *builder) buildGemm() {
 	}, func(a ptg.Args) (ptg.TaskRef, string) {
 		p := b.ps[a[0]]
 		s := p.seg(a[1])
-		flow := "X"
-		if s%2 == 1 {
-			flow = "Y"
-		}
-		return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(a[0], 1, s/2)}, flow
+		return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(a[0], 1, s/p.arity)}, reduceFlow(s % p.arity)
 	})
 	// Single segment: go straight to the SORT stage.
 	b.addSortStageOuts(c, func(a ptg.Args) bool {
@@ -333,7 +338,9 @@ func (b *builder) buildReduce() {
 	tc.Affinity = func(a ptg.Args) int { return b.chainNode(a[0]) }
 	tc.Priority = b.priority(0)
 	tc.Cost = func(a ptg.Args) ptg.Cost {
-		return ptg.Cost{MemBytes: 3 * b.ps[a[0]].cbytes}
+		// Fold up to arity-1 sibling buffers into the accumulator: one
+		// read + one write per fold, plus the accumulator read.
+		return ptg.Cost{MemBytes: int64(2*b.ps[a[0]].arity - 1) * b.ps[a[0]].cbytes}
 	}
 	tc.FlowBytes = func(a ptg.Args, flow string) int64 {
 		if flow == "X" {
@@ -343,7 +350,7 @@ func (b *builder) buildReduce() {
 	}
 	childRef := func(a ptg.Args, which int) (ptg.TaskRef, string) {
 		l1, lvl, i := a[0], a[1], a[2]
-		child := 2*i + which
+		child := b.ps[l1].arity*i + which
 		if lvl == 1 {
 			p := b.ps[l1]
 			return ptg.TaskRef{Class: "GEMM", Args: ptg.A2(l1, p.segLast(child))}, "C"
@@ -352,28 +359,38 @@ func (b *builder) buildReduce() {
 	}
 	x := tc.AddFlow("X", ptg.RW)
 	x.In(nil, func(a ptg.Args) (ptg.TaskRef, string) { return childRef(a, 0) })
-	y := tc.AddFlow("Y", ptg.Read)
-	y.In(func(a ptg.Args) bool {
-		p := b.ps[a[0]]
-		return 2*a[2]+1 < p.width[a[1]-1]
-	}, func(a ptg.Args) (ptg.TaskRef, string) { return childRef(a, 1) })
+	maxArity := 2
+	for _, p := range b.ps {
+		if p.arity > maxArity {
+			maxArity = p.arity
+		}
+	}
+	for which := 1; which < maxArity; which++ {
+		which := which
+		y := tc.AddFlow(reduceFlow(which), ptg.Read)
+		y.In(func(a ptg.Args) bool {
+			p := b.ps[a[0]]
+			return which < p.arity && p.arity*a[2]+which < p.width[a[1]-1]
+		}, func(a ptg.Args) (ptg.TaskRef, string) { return childRef(a, which) })
+	}
 	// Upward edge: to the parent reduction, or to the SORT stage at top.
 	x.Out(func(a ptg.Args) bool { return a[1] < b.ps[a[0]].top },
 		func(a ptg.Args) (ptg.TaskRef, string) {
-			flow := "X"
-			if a[2]%2 == 1 {
-				flow = "Y"
-			}
-			return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(a[0], a[1]+1, a[2]/2)}, flow
+			p := b.ps[a[0]]
+			return ptg.TaskRef{Class: "REDUCE", Args: ptg.A3(a[0], a[1]+1, a[2]/p.arity)}, reduceFlow(a[2] % p.arity)
 		})
 	b.addSortStageOuts(x, func(a ptg.Args) bool { return a[1] == b.ps[a[0]].top })
 	if b.opts.Store != nil {
 		tc.Body = func(ctx *ptg.Ctx) {
 			xt := ctx.In[0].(*tensor.Tile4)
-			if ctx.In[1] != nil {
-				yt := ctx.In[1].(*tensor.Tile4)
+			for _, in := range ctx.In[1:] {
+				if in == nil {
+					continue
+				}
+				yt := in.(*tensor.Tile4)
 				xt.AddScaled(yt, 1)
-				// The Y branch is folded here and has no other consumer.
+				// The sibling branches are folded here and have no other
+				// consumer.
 				tensor.PutTile4In(ctx.Pool, yt)
 			}
 			ctx.Out[0] = xt
@@ -383,7 +400,7 @@ func (b *builder) buildReduce() {
 
 func (b *builder) buildSort() {
 	tc := b.g.Class("SORT")
-	if b.spec.ParallelSorts {
+	if b.shape.SortFission {
 		tc.Domain = func(emit func(ptg.Args)) {
 			for l1, p := range b.ps {
 				for i := 0; i < p.nsorts; i++ {
@@ -402,7 +419,7 @@ func (b *builder) buildSort() {
 	tc.Priority = b.priority(0)
 	tc.Cost = func(a ptg.Args) ptg.Cost {
 		p := b.ps[a[0]]
-		if b.spec.ParallelSorts {
+		if b.shape.SortFission {
 			return ptg.Cost{MemBytes: tensor.Sort4Bytes(p.meta.Out.Elems())}
 		}
 		// One task performs every active SORT_4 serially, reusing hot
@@ -420,20 +437,21 @@ func (b *builder) buildSort() {
 	})
 	s := tc.AddFlow("S", ptg.Write)
 	s.InNew(nil, func(a ptg.Args) int64 { return b.ps[a[0]].cbytes })
+	span := b.shape.WriteSpan
 	switch {
-	case b.spec.ParallelWrites:
+	case b.shape.WriteFission:
 		s.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
 			return ptg.TaskRef{Class: "WRITE", Args: a}, "I0"
 		})
-	case b.spec.ParallelSorts:
-		for seg := 0; seg < b.opts.writeSpan(); seg++ {
+	case b.shape.SortFission:
+		for seg := 0; seg < span; seg++ {
 			seg := seg
 			s.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
 				return ptg.TaskRef{Class: "WRITE", Args: ptg.A2(a[0], seg)}, fmt.Sprintf("I%d", a[1])
 			})
 		}
 	default:
-		for seg := 0; seg < b.opts.writeSpan(); seg++ {
+		for seg := 0; seg < span; seg++ {
 			seg := seg
 			s.Out(nil, func(a ptg.Args) (ptg.TaskRef, string) {
 				return ptg.TaskRef{Class: "WRITE", Args: ptg.A2(a[0], seg)}, "I0"
@@ -441,7 +459,7 @@ func (b *builder) buildSort() {
 		}
 	}
 	if b.opts.Store != nil {
-		if b.spec.ParallelSorts {
+		if b.shape.SortFission {
 			tc.Body = func(ctx *ptg.Ctx) {
 				p := b.ps[ctx.Args[0]]
 				src := ctx.In[0].(*tensor.Tile4)
@@ -468,7 +486,7 @@ func (b *builder) buildSort() {
 					tensor.Sort4Add(dst, src, br.Perm, br.Sign)
 				}
 				// The merged SORT is the single consumer of the chain's
-				// final C (the parallel-sorts variants share it across
+				// final C (the fissioned-sort shapes share it across
 				// four instances and must leave it to the GC).
 				tensor.PutTile4In(ctx.Pool, src)
 				ctx.Out[1] = dst
@@ -479,8 +497,8 @@ func (b *builder) buildSort() {
 
 func (b *builder) buildWrite() {
 	tc := b.g.Class("WRITE")
-	span := b.opts.writeSpan()
-	if b.spec.ParallelWrites {
+	span := b.shape.WriteSpan
+	if b.shape.WriteFission {
 		tc.Domain = func(emit func(ptg.Args)) {
 			for l1, p := range b.ps {
 				for i := 0; i < p.nsorts; i++ {
@@ -500,7 +518,7 @@ func (b *builder) buildWrite() {
 	// Writes run where the Global Array data lives (Fig 8); with a
 	// spanning block, segment s lives on the s-th node after the base
 	// owner.
-	if b.spec.ParallelWrites {
+	if b.shape.WriteFission {
 		tc.Affinity = func(a ptg.Args) int { return b.ownerNode(b.ps[a[0]].meta.OutNode) }
 	} else {
 		tc.Affinity = func(a ptg.Args) int {
@@ -515,18 +533,18 @@ func (b *builder) buildWrite() {
 	}
 	tc.Priority = b.priority(0)
 	nIn := 1
-	if !b.spec.ParallelWrites && b.spec.ParallelSorts {
+	if !b.shape.WriteFission && b.shape.SortFission {
 		nIn = 4
 	}
 	for i := 0; i < nIn; i++ {
 		i := i
 		f := tc.AddFlow(fmt.Sprintf("I%d", i), ptg.Read)
 		switch {
-		case b.spec.ParallelWrites:
+		case b.shape.WriteFission:
 			f.In(nil, func(a ptg.Args) (ptg.TaskRef, string) {
 				return ptg.TaskRef{Class: "SORT", Args: a}, "S"
 			})
-		case b.spec.ParallelSorts:
+		case b.shape.SortFission:
 			f.In(func(a ptg.Args) bool { return i < b.ps[a[0]].nsorts },
 				func(a ptg.Args) (ptg.TaskRef, string) {
 					return ptg.TaskRef{Class: "SORT", Args: ptg.A2(a[0], i)}, "S"
@@ -546,7 +564,7 @@ func (b *builder) buildWrite() {
 		// accumulation: contributions to a C block are folded in task
 		// creation order (ctx.Seq), not completion order, so the energy
 		// is bitwise identical under every scheduler configuration.
-		if !b.spec.ParallelWrites && span > 1 {
+		if !b.shape.WriteFission && span > 1 {
 			tc.Body = func(ctx *ptg.Ctx) {
 				p := b.ps[ctx.Args[0]]
 				seg := ctx.Args[1]

@@ -2,6 +2,7 @@ package ccsd
 
 import (
 	"parsec/internal/tce"
+	"parsec/internal/xform"
 )
 
 // chainPlan precomputes the task-graph shape of one chain: its GEMM
@@ -9,35 +10,41 @@ import (
 // segment is a run of GEMMs accumulating serially into one private C
 // buffer; the paper considers the two extremes — height 1 (maximum
 // parallelism) and the full chain (maximum locality, v1) — and this plan
-// supports any height for the ablation study.
+// supports any height for the ablation study, and any reduction-tree
+// arity for the ReshapeReduction pass.
 type chainPlan struct {
 	meta   *tce.ChainMeta
 	n      int   // GEMMs in the chain
 	h      int   // segment height
 	m      int   // number of segments: ceil(n/h)
+	arity  int   // reduction-tree fan-in (>= 2)
 	top    int   // reduction tree height (0 when m == 1)
 	width  []int // tree width per level; width[0] = m
 	nsorts int
 	cbytes int64
 }
 
-func newChainPlan(meta *tce.ChainMeta, height int) *chainPlan {
+func newChainPlan(meta *tce.ChainMeta, height, arity int) *chainPlan {
 	n := len(meta.Gemms)
 	h := height
 	if h <= 0 || h > n {
 		h = n
+	}
+	if arity < 2 {
+		arity = 2
 	}
 	p := &chainPlan{
 		meta:   meta,
 		n:      n,
 		h:      h,
 		m:      (n + h - 1) / h,
+		arity:  arity,
 		nsorts: len(meta.Sorts),
 		cbytes: meta.CBytes(),
 	}
 	p.width = []int{p.m}
 	for w := p.m; w > 1; {
-		w = (w + 1) / 2
+		w = (w + arity - 1) / arity
 		p.width = append(p.width, w)
 		p.top++
 	}
@@ -62,21 +69,13 @@ func (p *chainPlan) segLast(s int) int {
 // isSegEnd reports whether l2 is the last GEMM of its segment.
 func (p *chainPlan) isSegEnd(l2 int) bool { return p.segLast(p.seg(l2)) == l2 }
 
-// plans builds the per-chain plans for a workload under a variant.
-// segHeight <= 0 selects the variant's default: full chain for
-// SerialGemms (v1), height 1 otherwise.
-func plans(w *tce.Workload, spec VariantSpec, segHeight int) []*chainPlan {
+// plans builds the per-chain plans for a workload under a resolved
+// shape: SegHeight 0 keeps each chain as one serial segment, k >= 1
+// cuts it into segments of k GEMMs reduced by an arity-TreeArity tree.
+func plans(w *tce.Workload, shape xform.Shape) []*chainPlan {
 	ps := make([]*chainPlan, len(w.Chains))
 	for i, c := range w.Chains {
-		h := segHeight
-		if h <= 0 {
-			if spec.SerialGemms {
-				h = len(c.Gemms)
-			} else {
-				h = 1
-			}
-		}
-		ps[i] = newChainPlan(c, h)
+		ps[i] = newChainPlan(c, shape.SegHeight, shape.TreeArity)
 	}
 	return ps
 }

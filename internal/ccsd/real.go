@@ -72,7 +72,7 @@ func runRealDelayed(w *tce.Workload, spec VariantSpec, workers, segHeight int, q
 
 	g := BuildGraph(w, spec, Options{Nodes: 1, Store: store, SegmentHeight: segHeight})
 	policy := sched.PriorityOrder
-	if !spec.UsePriorities {
+	if !spec.UsePriorities() {
 		policy = sched.LIFOOrder
 	}
 	rcfg := runtime.Config{Workers: workers, Policy: policy, Queues: queue, TaskDelay: delay}

@@ -29,7 +29,7 @@ import (
 //   - single write, single sort (v5): one input, one accumulate, with the
 //     sorted matrix still hot in cache.
 func SimBehaviors(w *tce.Workload, spec VariantSpec, ps []*chainPlan) map[string]simexec.Behavior {
-	return simBehaviorsSpan(w, spec, ps, 1)
+	return simBehaviorsSpan(w, spec, ps, spec.MustShape().WriteSpan)
 }
 
 // simBehaviorsSpan is SimBehaviors with the Fig 8 write span: each WRITE
@@ -112,17 +112,21 @@ func runSimGA(sys *molecule.System, spec VariantSpec, mcfg cluster.Config, rc Si
 	w := tce.Inspect(k, func(ref tce.BlockRef) int {
 		return gs.Distribution().Owner(ref.Tensor, ref.Key)
 	})
-	ps := plans(w, spec, rc.SegmentHeight)
+	shape, err := EffectiveShape(spec, rc.SegmentHeight, rc.WriteSpan)
+	if err != nil {
+		return simexec.Result{}, nil, err
+	}
+	ps := plans(w, shape)
 	g := BuildGraph(w, spec, Options{Nodes: mcfg.Nodes, SegmentHeight: rc.SegmentHeight, WriteSpan: rc.WriteSpan})
 	policy := sched.PriorityOrder
-	if !spec.UsePriorities {
+	if !spec.UsePriorities() {
 		policy = sched.LIFOOrder
 	}
 	res, err := simexec.Run(g, m, gs, simexec.Config{
 		CoresPerNode:   rc.CoresPerNode,
 		Policy:         policy,
 		Queues:         rc.Queues,
-		Behaviors:      simBehaviorsSpan(w, spec, ps, rc.WriteSpan),
+		Behaviors:      simBehaviorsSpan(w, spec, ps, shape.WriteSpan),
 		Trace:          rc.Trace,
 		Horizon:        rc.Horizon,
 		Retry:          rc.Retry,

@@ -1,76 +1,125 @@
 // Package ccsd is the PaRSEC port of NWChem's icsd_t2_7 CCSD subroutine
 // (§III-B, §IV): it turns the inspected TCE workload into Parameterized
-// Task Graphs implementing the paper's five algorithmic variants, and
-// drives their execution on the real shared-memory runtime (with actual
-// tensor arithmetic) and on the simulated cluster (for the Fig 9 and
-// Fig 10-13 experiments).
+// Task Graphs implementing the paper's algorithmic variants, and drives
+// their execution on the real shared-memory runtime (with actual tensor
+// arithmetic) and on the simulated cluster (for the Fig 9 and Fig 10-13
+// experiments). Variants are no longer hand-written: each is an
+// xform.Recipe — an ordered list of graph-transformation passes — whose
+// resolved xform.Shape the builders consume.
 package ccsd
 
-import "fmt"
+import (
+	"fmt"
 
-// VariantSpec selects one of the algorithmic variants of §IV-A / §V.
+	"parsec/internal/xform"
+)
+
+// VariantSpec selects one algorithmic variant of §IV-A / §V: a named
+// recipe of graph-transformation passes over the base (v1) shape. The
+// five paper variants are short pass lists; derived recipes from the
+// tuner or the flat recipe grammar are equally valid specs.
 type VariantSpec struct {
+	// Name labels the variant ("v4", or a canonical shape string for
+	// derived recipes).
 	Name string
-	// SerialGemms organizes each chain's GEMMs as one serial chain
-	// sharing the C buffer (v1); otherwise GEMMs execute in parallel
-	// into private buffers followed by a reduction tree (Fig 4).
-	SerialGemms bool
-	// ParallelSorts runs the active SORT_4 branches as independent
-	// SORT_i tasks (Fig 6/7); otherwise one SORT task performs them
-	// serially, accumulating into a single Csorted (Fig 5).
-	ParallelSorts bool
-	// ParallelWrites pairs each SORT_i with its own WRITE_C_i task
-	// (Fig 7); otherwise a single WRITE_C task receives every sorted
-	// matrix (Fig 5/6).
-	ParallelWrites bool
-	// UsePriorities assigns the §IV-C priority expressions (decreasing
-	// with chain number; read offset +5·P, GEMM offset +1·P); without
-	// them the scheduler runs most-recently-ready-first (v2, Fig 11).
-	UsePriorities bool
-	// Description is the paper's one-line characterization (§V).
+	// Recipe is the pass list that produces the variant's plan shape.
+	Recipe xform.Recipe
+	// Description is the paper's one-line characterization (§V), or the
+	// pass list for derived recipes.
 	Description string
 }
 
 // String returns "name: description".
 func (v VariantSpec) String() string { return fmt.Sprintf("%s: %s", v.Name, v.Description) }
 
-// Variants returns the five variants evaluated in §V, in paper order.
-func Variants() []VariantSpec {
-	return []VariantSpec{
-		{
-			Name:        "v1",
-			SerialGemms: true, ParallelSorts: true, ParallelWrites: true, UsePriorities: true,
-			Description: "GEMMs in a serial chain, SORTs and WRITEs parallel, priorities",
-		},
-		{
-			Name:        "v2",
-			SerialGemms: false, ParallelSorts: true, ParallelWrites: false, UsePriorities: false,
-			Description: "GEMMs and SORTs parallel, one WRITE, no priorities",
-		},
-		{
-			Name:        "v3",
-			SerialGemms: false, ParallelSorts: true, ParallelWrites: true, UsePriorities: true,
-			Description: "GEMMs, SORTs and WRITEs all parallel, priorities",
-		},
-		{
-			Name:        "v4",
-			SerialGemms: false, ParallelSorts: true, ParallelWrites: false, UsePriorities: true,
-			Description: "GEMMs and SORTs parallel, one WRITE, priorities",
-		},
-		{
-			Name:        "v5",
-			SerialGemms: false, ParallelSorts: false, ParallelWrites: false, UsePriorities: true,
-			Description: "GEMMs parallel, one SORT and one WRITE, priorities",
-		},
-	}
+// Shape resolves the recipe against the base shape. The zero
+// VariantSpec has an empty pass list and resolves to the base (v1).
+func (v VariantSpec) Shape() (xform.Shape, error) { return v.Recipe.Shape() }
+
+// MustShape is Shape, panicking on an invalid pass list. Specs obtained
+// from Variants, VariantByName, or VariantFromRecipe are always valid;
+// only a hand-assembled inconsistent pass list can panic here.
+func (v VariantSpec) MustShape() xform.Shape { return v.Recipe.MustShape() }
+
+// UsePriorities reports whether the variant's shape assigns the §IV-C
+// priority expressions; without them schedulers run
+// most-recently-ready-first (LIFO).
+func (v VariantSpec) UsePriorities() bool { return v.MustShape().Prio == xform.PrioPaper }
+
+// variantDescriptions are the §V one-liners for the named recipes.
+var variantDescriptions = map[string]string{
+	"v1": "GEMMs in a serial chain, SORTs and WRITEs parallel, priorities",
+	"v2": "GEMMs and SORTs parallel, one WRITE, no priorities",
+	"v3": "GEMMs, SORTs and WRITEs all parallel, priorities",
+	"v4": "GEMMs and SORTs parallel, one WRITE, priorities",
+	"v5": "GEMMs parallel, one SORT and one WRITE, priorities",
 }
 
-// VariantByName returns the named variant.
-func VariantByName(name string) (VariantSpec, error) {
-	for _, v := range Variants() {
-		if v.Name == name {
-			return v, nil
+// Variants returns the five variants evaluated in §V, in paper order.
+func Variants() []VariantSpec {
+	named := xform.Named()
+	out := make([]VariantSpec, len(named))
+	for i, r := range named {
+		out[i] = VariantSpec{Name: r.Name, Recipe: r, Description: variantDescriptions[r.Name]}
+	}
+	return out
+}
+
+// VariantFromRecipe wraps a resolved recipe as a spec. Named paper
+// recipes get their §V descriptions; derived recipes are described by
+// their pass list.
+func VariantFromRecipe(r xform.Recipe) VariantSpec {
+	v := VariantSpec{Name: r.Name, Recipe: r, Description: variantDescriptions[r.Name]}
+	if v.Description == "" {
+		v.Description = "derived recipe " + r.String()
+	}
+	if v.Name == "" {
+		if s, err := r.Shape(); err == nil {
+			v.Name = s.Canon()
 		}
 	}
-	return VariantSpec{}, fmt.Errorf("ccsd: unknown variant %q (want v1..v5)", name)
+	return v
+}
+
+// VariantByName resolves a variant argument: one of the named paper
+// variants (v1..v5) or a flat recipe string in the xform grammar, e.g.
+// "seg=4,tree=2,fission=sorts,prio=paper". Errors list the accepted
+// syntax.
+func VariantByName(name string) (VariantSpec, error) {
+	r, err := xform.Parse(name)
+	if err != nil {
+		return VariantSpec{}, fmt.Errorf("ccsd: %w", err)
+	}
+	return VariantFromRecipe(r), nil
+}
+
+// EffectiveShape resolves the spec's shape with the Options-level
+// overrides applied: segHeight > 0 replaces the recipe's segment
+// height (the §IV-A ablation dial), writeSpan > 0 replaces the write
+// span. The result is normalized, so shapes that instantiate identical
+// graphs compare equal — this is the value plan caching keys off.
+func EffectiveShape(spec VariantSpec, segHeight, writeSpan int) (xform.Shape, error) {
+	s, err := spec.Shape()
+	if err != nil {
+		return xform.Shape{}, err
+	}
+	if segHeight > 0 {
+		s.SegHeight = segHeight
+	}
+	if writeSpan > 0 {
+		s.WriteSpan = writeSpan
+	}
+	s = s.Normalize()
+	return s, s.Validate()
+}
+
+// effectiveShape is EffectiveShape for builder entry points whose
+// signatures cannot carry an error; the overrides only widen or narrow
+// integer dials, so with a valid spec it cannot fail.
+func effectiveShape(spec VariantSpec, opts Options) xform.Shape {
+	s, err := EffectiveShape(spec, opts.SegmentHeight, opts.WriteSpan)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

@@ -236,7 +236,7 @@ func (s JobSpec) Policy() (sched.Policy, error) {
 	if err != nil {
 		return sched.PriorityOrder, err
 	}
-	if !vs.UsePriorities {
+	if !vs.UsePriorities() {
 		return sched.LIFOOrder, nil
 	}
 	return sched.PriorityOrder, nil

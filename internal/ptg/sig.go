@@ -1,0 +1,101 @@
+package ptg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Sig is a canonical fingerprint of an instantiated graph: every task
+// instance with its affinity, priority, flow structure (modes, resolved
+// input sources, byte sizes), simulated cost, and every guarded output
+// edge that fires. Two graphs with equal signatures instantiate the
+// same DAG — same tasks, same edges, same priorities and costs — so an
+// executor cannot tell them apart. The transformation-pass layer
+// (internal/xform) is proven against the historical hand-written
+// variant builders through these signatures.
+type Sig struct {
+	Tasks  int
+	Edges  int
+	SHA256 string
+}
+
+// String renders the signature summary.
+func (s Sig) String() string {
+	return fmt.Sprintf("tasks=%d edges=%d sha256=%s", s.Tasks, s.Edges, s.SHA256[:16])
+}
+
+// Signature computes the canonical fingerprint of g. The graph name is
+// deliberately excluded — the signature pins structure, not labels.
+// Instances are visited in deterministic enumeration order, flows in
+// definition order, and every guard is evaluated exactly as the tracker
+// would, so the signed edge set is the executed one.
+func Signature(g *Graph) (Sig, error) {
+	if err := g.Validate(); err != nil {
+		return Sig{}, err
+	}
+	var b strings.Builder
+	var sig Sig
+	for _, tc := range g.Classes() {
+		tc.Domain(func(a Args) {
+			sig.Tasks++
+			ref := TaskRef{Class: tc.Name, Args: a}
+			fmt.Fprintf(&b, "task %s", ref)
+			if tc.Affinity != nil {
+				fmt.Fprintf(&b, " node=%d", tc.Affinity(a))
+			}
+			if tc.Priority != nil {
+				fmt.Fprintf(&b, " prio=%d", tc.Priority(a))
+			}
+			if tc.Cost != nil {
+				c := tc.Cost(a)
+				fmt.Fprintf(&b, " cost={f=%d m=%d g=%d warm=%t}", c.Flops, c.MemBytes, c.GemmBytes, c.Warm)
+			}
+			b.WriteByte('\n')
+			for _, f := range tc.Flows {
+				fmt.Fprintf(&b, "  flow %s %s", f.Mode, f.Name)
+				if tc.FlowBytes != nil {
+					fmt.Fprintf(&b, " bytes=%d", tc.FlowBytes(a, f.Name))
+				}
+				if tc.InBytes != nil {
+					fmt.Fprintf(&b, " inbytes=%d", tc.InBytes(a, f.Name))
+				}
+				b.WriteByte('\n')
+				for _, in := range f.Ins {
+					if in.Guard != nil && !in.Guard(a) {
+						continue
+					}
+					switch {
+					case in.Producer != nil:
+						src, flow := in.Producer(a)
+						fmt.Fprintf(&b, "    <- %s.%s\n", src, flow)
+					case in.Data != nil:
+						d := in.Data(a)
+						fmt.Fprintf(&b, "    <- data %s@%d:%d\n", d.ID, d.Node, d.Bytes)
+					default:
+						fmt.Fprintf(&b, "    <- new %d\n", in.New(a))
+					}
+					// Only the first passing alternative supplies the flow.
+					break
+				}
+				for _, out := range f.Outs {
+					if out.Guard != nil && !out.Guard(a) {
+						continue
+					}
+					sig.Edges++
+					if out.Consumer != nil {
+						dst, flow := out.Consumer(a)
+						fmt.Fprintf(&b, "    -> %s.%s\n", dst, flow)
+					} else {
+						d := out.Data(a)
+						fmt.Fprintf(&b, "    -> data %s@%d:%d\n", d.ID, d.Node, d.Bytes)
+					}
+				}
+			}
+		})
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	sig.SHA256 = hex.EncodeToString(sum[:])
+	return sig, nil
+}

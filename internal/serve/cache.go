@@ -9,19 +9,24 @@ import (
 
 	"parsec/internal/ccsd"
 	"parsec/internal/molecule"
+	"parsec/internal/xform"
 )
 
 // PlanKey computes the content key of a compiled plan: a SHA-256 over a
 // canonical rendering of everything the plan is a function of — the
 // molecular system (orbital counts, basis size, tiling, symmetry labels,
-// and the amplitude seed), the algorithmic variant, and the graph shape
-// (segment height, write span, affinity nodes). Runtime worker count is
-// deliberately excluded: it changes how a plan executes, not what the
-// plan is, so jobs differing only in workers share a cache entry.
-func PlanKey(sys *molecule.System, variant string, segHeight, writeSpan, nodes int) string {
-	canon := fmt.Sprintf("sys=%s|occ=%d|virt=%d|basis=%d|irreps=%d|tile=%d|seed=%#x|variant=%s|seg=%d|span=%d|nodes=%d",
+// and the amplitude seed), the resolved plan shape, and the affinity
+// node count. The shape is keyed by its canonical normalized string, not
+// the variant name the client sent: "v5" and "seg=1,fission=none" are
+// the same plan and share a cache entry, while recipe dimensions the old
+// key never saw (reduction-tree arity, priority scheme) now correctly
+// split entries. Runtime worker count is deliberately excluded: it
+// changes how a plan executes, not what the plan is, so jobs differing
+// only in workers share an entry.
+func PlanKey(sys *molecule.System, shape xform.Shape, nodes int) string {
+	canon := fmt.Sprintf("sys=%s|occ=%d|virt=%d|basis=%d|irreps=%d|tile=%d|seed=%#x|shape=%s|nodes=%d",
 		sys.Name, sys.NOccupied, sys.NVirtual, sys.BasisFns, sys.NIrreps,
-		sys.TileTarget, sys.Seed, variant, segHeight, writeSpan, nodes)
+		sys.TileTarget, sys.Seed, shape.Canon(), nodes)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

@@ -11,6 +11,21 @@ import (
 	"parsec/internal/molecule"
 )
 
+// keyFor resolves a variant/recipe string plus overrides to its plan
+// key, the way Submit does: name → recipe → effective shape → key.
+func keyFor(t *testing.T, sys *molecule.System, variant string, seg, span, nodes int) string {
+	t.Helper()
+	spec, err := ccsd.VariantByName(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := ccsd.EffectiveShape(spec, seg, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PlanKey(sys, shape, nodes)
+}
+
 // compileWater compiles the water plan, counting invocations.
 func compileWater(n *atomic.Int64) func() (*ccsd.CompiledPlan, error) {
 	return func() (*ccsd.CompiledPlan, error) {
@@ -28,7 +43,7 @@ func compileWater(n *atomic.Int64) func() (*ccsd.CompiledPlan, error) {
 func TestCacheHitMissCounters(t *testing.T) {
 	c := NewPlanCache(4)
 	var compiles atomic.Int64
-	key := PlanKey(molecule.Water631G(), "v5", 0, 0, 1)
+	key := keyFor(t, molecule.Water631G(), "v5", 0, 0, 1)
 
 	p1, hit, err := c.Get(key, compileWater(&compiles))
 	if err != nil || hit || p1 == nil {
@@ -88,7 +103,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheSingleflight(t *testing.T) {
 	c := NewPlanCache(4)
 	var compiles atomic.Int64
-	key := PlanKey(molecule.Water631G(), "v5", 0, 0, 1)
+	key := keyFor(t, molecule.Water631G(), "v5", 0, 0, 1)
 
 	const callers = 32
 	plans := make([]*ccsd.CompiledPlan, callers)
@@ -175,15 +190,19 @@ func TestCacheInFlightNotEvicted(t *testing.T) {
 }
 
 // TestPlanKeyDistinguishesInputs checks the content key separates every
-// plan-affecting dimension and ignores none of them.
+// plan-affecting dimension — including the recipe dimensions the
+// pre-recipe key never carried (tree arity, priority scheme) — and
+// ignores none of them.
 func TestPlanKeyDistinguishesInputs(t *testing.T) {
-	base := PlanKey(molecule.Water631G(), "v5", 0, 0, 1)
+	base := keyFor(t, molecule.Water631G(), "v5", 0, 0, 1)
 	variants := map[string]string{
-		"system":  PlanKey(molecule.Benzene631G(), "v5", 0, 0, 1),
-		"variant": PlanKey(molecule.Water631G(), "v4", 0, 0, 1),
-		"segment": PlanKey(molecule.Water631G(), "v5", 2, 0, 1),
-		"span":    PlanKey(molecule.Water631G(), "v5", 0, 2, 1),
-		"nodes":   PlanKey(molecule.Water631G(), "v5", 0, 0, 4),
+		"system":  keyFor(t, molecule.Benzene631G(), "v5", 0, 0, 1),
+		"variant": keyFor(t, molecule.Water631G(), "v4", 0, 0, 1),
+		"segment": keyFor(t, molecule.Water631G(), "v5", 2, 0, 1),
+		"span":    keyFor(t, molecule.Water631G(), "v5", 0, 2, 1),
+		"nodes":   keyFor(t, molecule.Water631G(), "v5", 0, 0, 4),
+		"arity":   keyFor(t, molecule.Water631G(), "seg=1,tree=4,fission=none", 0, 0, 1),
+		"prio":    keyFor(t, molecule.Water631G(), "seg=1,fission=none,prio=none", 0, 0, 1),
 	}
 	seen := map[string]string{base: "base"}
 	for dim, k := range variants {
@@ -192,12 +211,33 @@ func TestPlanKeyDistinguishesInputs(t *testing.T) {
 		}
 		seen[k] = dim
 	}
-	if again := PlanKey(molecule.Water631G(), "v5", 0, 0, 1); again != base {
+	if again := keyFor(t, molecule.Water631G(), "v5", 0, 0, 1); again != base {
 		t.Error("key is not deterministic")
 	}
 	for dim, k := range variants {
 		if len(k) != 64 {
 			t.Errorf("%s key is not a sha256 hex: %q", dim, k)
+		}
+	}
+}
+
+// TestPlanKeyUnifiesEquivalentSpellings pins the other half of the key
+// contract: different spellings of the same resolved shape must share a
+// cache entry. "v5" and its flat grammar form are one plan; a moot
+// dimension (tree arity under a full chain, span under fissioned
+// writes) must not fork the key; and an explicit seg override equal to
+// the recipe's own height changes nothing.
+func TestPlanKeyUnifiesEquivalentSpellings(t *testing.T) {
+	sys := molecule.Water631G()
+	groups := map[string][2]string{
+		"v5-flat":     {keyFor(t, sys, "v5", 0, 0, 1), keyFor(t, sys, "seg=1,fission=none", 0, 0, 1)},
+		"v3-flat":     {keyFor(t, sys, "v3", 0, 0, 1), keyFor(t, sys, "seg=1,fission=writes", 0, 0, 1)},
+		"moot-tree":   {keyFor(t, sys, "v1", 0, 0, 1), keyFor(t, sys, "seg=full,tree=7,fission=writes", 0, 0, 1)},
+		"seg-via-cli": {keyFor(t, sys, "seg=2,fission=none", 0, 0, 1), keyFor(t, sys, "v5", 2, 0, 1)},
+	}
+	for name, pair := range groups {
+		if pair[0] != pair[1] {
+			t.Errorf("%s: equivalent spellings got distinct keys — a recompile the cache should have absorbed", name)
 		}
 	}
 }

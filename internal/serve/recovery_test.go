@@ -59,7 +59,7 @@ func TestServerRecovery(t *testing.T) {
 	}
 	interrupted := Record{
 		Op: OpSubmit, ID: "j1-999999",
-		Key:  PlanKey(sys, "v5", 0, 0, 0),
+		Key:  keyFor(t, sys, "v5", 0, 0, 0),
 		Spec: &spec, SubmittedNs: time.Now().UnixNano(),
 	}
 	badSpec := JobSpec{Preset: "unobtainium", Variant: "v5"}

@@ -358,6 +358,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
+	shape, err := ccsd.EffectiveShape(vspec, spec.SegmentHeight, spec.WriteSpan)
+	if err != nil {
+		return JobStatus{}, err
+	}
 	foot := s.footprint(sys)
 
 	s.mu.Lock()
@@ -380,7 +384,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		spec:      spec,
 		sys:       sys,
 		vspec:     vspec,
-		key:       PlanKey(sys, spec.Variant, spec.SegmentHeight, spec.WriteSpan, spec.Nodes),
+		key:       PlanKey(sys, shape, spec.Nodes),
 		foot:      foot,
 		submitted: time.Now(),
 		cancel:    make(chan struct{}),

@@ -181,13 +181,16 @@ func Inspect(sys *System) *Workload { return tce.Inspect(tce.T2_7(sys), nil) }
 // step of the paper's stated follow-on work of porting more of CCSD.
 func InspectT1(sys *System) *Workload { return tce.Inspect(tce.T1_2(sys), nil) }
 
-// VariantSpec selects one of the paper's algorithmic variants (§IV-A).
+// VariantSpec selects one algorithmic variant (§IV-A): a recipe of
+// graph-transformation passes resolved to a plan shape.
 type VariantSpec = ccsd.VariantSpec
 
 // Variants returns the five variants evaluated in §V.
 func Variants() []VariantSpec { return ccsd.Variants() }
 
-// Variant returns the named variant ("v1".."v5").
+// Variant returns the variant for a paper name ("v1".."v5") or a flat
+// recipe string such as "seg=1,tree=4,fission=sorts" (the grammar is in
+// the error of any failed parse).
 func Variant(name string) (VariantSpec, error) { return ccsd.VariantByName(name) }
 
 // RealResult is the outcome of executing the ported kernel with real
